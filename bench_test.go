@@ -1,0 +1,260 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact, wrapping the drivers in
+// internal/experiments), the ablations DESIGN.md calls out, and
+// microbenchmarks of the simulator's hot paths. Regenerate everything
+// with:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benchmarks report domain metrics via b.ReportMetric where
+// a single number summarizes the artifact.
+package firefly_test
+
+import (
+	"testing"
+
+	"firefly"
+	"firefly/internal/core"
+	"firefly/internal/display"
+	"firefly/internal/experiments"
+	"firefly/internal/machine"
+	"firefly/internal/mbus"
+	"firefly/internal/model"
+	"firefly/internal/rpc"
+	"firefly/internal/sim"
+)
+
+// BenchmarkTable1 regenerates Table 1 (estimated performance) from the
+// §5.2 analytic model.
+func BenchmarkTable1(b *testing.B) {
+	var tp float64
+	for i := 0; i < b.N; i++ {
+		pts := model.Table1()
+		tp = pts[len(pts)-1].TP
+	}
+	b.ReportMetric(tp, "TP@12cpu")
+}
+
+// BenchmarkTable1Simulated cross-checks Table 1 on the cycle simulator.
+func BenchmarkTable1Simulated(b *testing.B) {
+	var pt experiments.Table1SimPoint
+	for i := 0; i < b.N; i++ {
+		pt = experiments.SimulateTable1Point(5, 400_000)
+	}
+	b.ReportMetric(pt.Load, "busload@5cpu")
+	b.ReportMetric(pt.TP, "TP@5cpu")
+}
+
+// BenchmarkTable2 regenerates Table 2 (measured performance) by running
+// the threads exerciser on a five-CPU machine.
+func BenchmarkTable2(b *testing.B) {
+	var row experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		row = experiments.MeasureExerciser(5, 100_000, 1_000_000)
+	}
+	b.ReportMetric(row.Total, "refs/s/cpu")
+	b.ReportMetric(row.BusLoad, "busload")
+}
+
+// BenchmarkFigure3Transitions exercises every arc of the Figure 3 state
+// diagram through the cache controller.
+func BenchmarkFigure3Transitions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Figure3(experiments.Quick)
+		if len(out.Text) == 0 {
+			b.Fatal("empty outcome")
+		}
+	}
+}
+
+// BenchmarkFigure4Timing runs the scripted MRead/MWrite pair that renders
+// the Figure 4 bus timing.
+func BenchmarkFigure4Timing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Figure4(experiments.Quick)
+		if len(out.Text) == 0 {
+			b.Fatal("empty outcome")
+		}
+	}
+}
+
+// BenchmarkProtocolComparison runs the coherence protocol bake-off
+// (X-proto in DESIGN.md).
+func BenchmarkProtocolComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ProtocolComparison(experiments.Quick)
+	}
+}
+
+// BenchmarkMigrationAblation measures the scheduler's migration avoidance
+// (X-migrate).
+func BenchmarkMigrationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.MigrationAblation(experiments.Quick)
+	}
+}
+
+// BenchmarkCVAXSpeedup measures the second-version upgrade (X-cvax).
+func BenchmarkCVAXSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CVAXSpeedup(experiments.Quick)
+	}
+}
+
+// BenchmarkRPCThroughput measures the §6 RPC bandwidth knee (X-rpc).
+func BenchmarkRPCThroughput(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		mbps = rpc.Run(rpc.Config{}, 3, 0.5).Mbps
+	}
+	b.ReportMetric(mbps, "Mbit/s@3threads")
+}
+
+// BenchmarkQBusLoad measures DMA bandwidth consumption (X-qbus).
+func BenchmarkQBusLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.QBusLoad(experiments.Quick)
+	}
+}
+
+// BenchmarkMDCThroughput measures display controller paint rates (X-mdc).
+func BenchmarkMDCThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.MDCThroughput(experiments.Quick)
+	}
+}
+
+// BenchmarkParallelMake measures the §6 parallel make speedup (X-make).
+func BenchmarkParallelMake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ParallelMake(experiments.Quick)
+	}
+}
+
+// BenchmarkFigure2Structure instantiates the Topaz structure (Figure 2).
+func BenchmarkFigure2Structure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2(experiments.Quick)
+	}
+}
+
+// BenchmarkSyscallEmulation measures the Ultrix emulation cost
+// (§6 footnote 5).
+func BenchmarkSyscallEmulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.SyscallEmulation(experiments.Quick)
+	}
+}
+
+// BenchmarkGCOffload runs the concurrent garbage collection experiment
+// (§6's collector-on-another-processor claim).
+func BenchmarkGCOffload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.GCOffload(experiments.Quick)
+	}
+}
+
+// BenchmarkFileIO runs the file system read-ahead / write-behind
+// experiment (§6).
+func BenchmarkFileIO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.FileIO(experiments.Quick)
+	}
+}
+
+// BenchmarkLineSize runs the cache line size ablation.
+func BenchmarkLineSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.LineSizeAblation(experiments.Quick)
+	}
+}
+
+// BenchmarkOnChipData runs the CVAX on-chip data cache ablation.
+func BenchmarkOnChipData(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.OnChipDataAblation(experiments.Quick)
+	}
+}
+
+// --- Microbenchmarks of the simulator's hot paths ---
+
+// BenchmarkCacheHit measures the cache controller's hit path.
+func BenchmarkCacheHit(b *testing.B) {
+	clock := &sim.Clock{}
+	bus := mbus.New(clock, mbus.FixedPriority)
+	c := core.NewMicroVAXCache(clock, core.Firefly{})
+	bus.Attach(c, c, nil)
+	// Fill one line via the bus.
+	c.Submit(core.Access{Write: true, Addr: 0x40, Data: 1})
+	for c.Busy() {
+		clock.Tick()
+		bus.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(core.Access{Addr: 0x40})
+	}
+}
+
+// BenchmarkBusTransaction measures a full four-cycle MBus operation.
+func BenchmarkBusTransaction(b *testing.B) {
+	clock := &sim.Clock{}
+	bus := mbus.New(clock, mbus.FixedPriority)
+	c := core.NewMicroVAXCache(clock, core.Firefly{})
+	bus.Attach(c, c, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Submit(core.Access{Write: true, Addr: mbus.Addr(i*4) & 0xfffff, Data: uint32(i)})
+		for c.Busy() {
+			clock.Tick()
+			bus.Step()
+		}
+	}
+}
+
+// BenchmarkMachineCycle measures one whole-machine step of a 5-CPU
+// Firefly under load.
+func BenchmarkMachineCycle(b *testing.B) {
+	m := machine.New(machine.MicroVAXConfig(5))
+	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.Warmup(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkBitBlt measures a 64x64 frame buffer copy.
+func BenchmarkBitBlt(b *testing.B) {
+	src := display.NewBitmap(256, 256)
+	dst := display.NewBitmap(256, 256)
+	display.Fill(src, display.Rect{X: 0, Y: 0, W: 256, H: 256}, display.OpSet)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		display.BitBlt(dst, display.Rect{X: 8, Y: 8, W: 64, H: 64}, src, 0, 0, display.OpXor)
+	}
+}
+
+// BenchmarkRPCMarshal measures message marshalling.
+func BenchmarkRPCMarshal(b *testing.B) {
+	payload := make([]byte, 1024)
+	msg := &rpc.Message{Kind: rpc.Call, ID: 1, Proc: 7, Payload: payload}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := msg.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rpc.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelInversion measures the L(NP) numeric inversion.
+func BenchmarkModelInversion(b *testing.B) {
+	p := firefly.MicroVAXModel()
+	for i := 0; i < b.N; i++ {
+		p.LoadFor(float64(2 + i%10))
+	}
+}

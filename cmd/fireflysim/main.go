@@ -1,0 +1,101 @@
+// Command fireflysim runs one Firefly configuration under a chosen
+// workload and prints the measurement report.
+//
+// Examples:
+//
+//	fireflysim -cpus 5 -seconds 0.05
+//	fireflysim -cpus 7 -protocol mesi -miss 0.15 -share 0.3
+//	fireflysim -cpus 4 -variant cvax -workload exerciser
+//	fireflysim -cpus 4 -workload make
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firefly"
+	"firefly/internal/machine"
+	"firefly/internal/topaz"
+	"firefly/internal/workload"
+)
+
+func main() {
+	cpus := flag.Int("cpus", 5, "number of processors (hardware shipped 1-7)")
+	variant := flag.String("variant", "microvax", "processor variant: microvax or cvax")
+	protocol := flag.String("protocol", "firefly", "coherence protocol: firefly, dragon, berkeley, mesi, write-through-invalidate")
+	seconds := flag.Float64("seconds", 0.02, "simulated seconds to run")
+	warmup := flag.Float64("warmup", 0.002, "simulated seconds of warmup excluded from measurement")
+	miss := flag.Float64("miss", 0.2, "synthetic workload miss rate M")
+	share := flag.Float64("share", 0.1, "synthetic workload sharing fraction S")
+	wl := flag.String("workload", "synthetic", "workload: synthetic, exerciser, make, pipeline, compiler")
+	lineWords := flag.Int("linewords", 1, "cache line size in longwords (hardware: 1)")
+	cacheLines := flag.Int("cachelines", 0, "cache lines (0 = variant default)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	var cfg machine.Config
+	switch *variant {
+	case "microvax":
+		cfg = machine.MicroVAXConfig(*cpus)
+	case "cvax":
+		cfg = machine.CVAXConfig(*cpus)
+	default:
+		fmt.Fprintf(os.Stderr, "fireflysim: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+	proto := firefly.ProtocolByName(*protocol)
+	if proto == nil {
+		fmt.Fprintf(os.Stderr, "fireflysim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+	cfg.Protocol = proto
+	cfg.Seed = *seed
+	cfg.LineWords = *lineWords
+	if *cacheLines > 0 {
+		cfg.CacheLines = *cacheLines
+	}
+	m := machine.New(cfg)
+
+	cyc := func(s float64) uint64 { return uint64(s * 1e7) }
+
+	switch *wl {
+	case "synthetic":
+		m.AttachSyntheticSources(*miss, *share, *share/2)
+		m.Warmup(cyc(*warmup))
+		m.RunSeconds(*seconds)
+
+	case "exerciser":
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 1500, Seed: *seed})
+		ex := workload.NewExerciser(k, workload.ExerciserConfig{
+			Threads: 16, Rounds: 1_000_000, SharedFraction: 0.35, Seed: *seed,
+		})
+		ex.Step(cyc(*warmup))
+		m.ResetStats()
+		ex.Step(cyc(*seconds))
+
+	case "make":
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, AvoidMigration: true, Seed: *seed})
+		res := workload.RunMake(k, workload.StandardBuild(8, 40_000), cyc(*seconds)*100)
+		fmt.Printf("parallel make: finished=%v in %.2f Mcycles (ok=%v)\n",
+			len(res.Finished), float64(res.Cycles)/1e6, res.OK)
+
+	case "pipeline":
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Seed: *seed})
+		res := workload.RunPipeline(k, workload.PipelineConfig{}, cyc(*seconds)*100)
+		fmt.Printf("pipeline: %d items in %.2f Mcycles (ok=%v)\n",
+			len(res.Output), float64(res.Cycles)/1e6, res.OK)
+
+	case "compiler":
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Seed: *seed})
+		res := workload.RunCompiler(k, workload.CompilerConfig{}, cyc(*seconds)*100)
+		fmt.Printf("parallel compile: %d procedures in %.2f Mcycles (ok=%v)\n",
+			len(res.Compiled), float64(res.Cycles)/1e6, res.OK)
+
+	default:
+		fmt.Fprintf(os.Stderr, "fireflysim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	fmt.Print(m.Report())
+}

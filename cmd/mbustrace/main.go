@@ -1,0 +1,15 @@
+// Command mbustrace prints the cycle-by-cycle MBus schedule for a short
+// scripted run — the paper's Figure 4 in text form: arbitration and
+// address in cycle 1, write data and tag probes in cycle 2, MShared in
+// cycle 3, data in cycle 4.
+package main
+
+import (
+	"fmt"
+
+	"firefly/internal/experiments"
+)
+
+func main() {
+	fmt.Println(experiments.Figure4(experiments.Quick))
+}

@@ -1,0 +1,57 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation, plus the repository's ablation experiments.
+//
+// Usage:
+//
+//	tables                  # run everything at the quick budget
+//	tables -experiment table2 -full
+//	tables -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"firefly/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+	full := flag.Bool("full", false, "use report-quality run lengths")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("  %-12s %s\n", r.ID, r.Note)
+		}
+		return
+	}
+
+	budget := experiments.Quick
+	if *full {
+		budget = experiments.Full
+	}
+
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		out := r.Run(budget)
+		fmt.Println(out)
+		fmt.Printf("(%s in %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+	}
+
+	if *experiment == "all" {
+		for _, r := range experiments.All() {
+			run(r)
+		}
+		return
+	}
+	r := experiments.ByID(*experiment)
+	if r == nil {
+		fmt.Fprintf(os.Stderr, "tables: unknown experiment %q (try -list)\n", *experiment)
+		os.Exit(2)
+	}
+	run(*r)
+}

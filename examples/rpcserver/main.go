@@ -1,0 +1,35 @@
+// RPC server: the §6 data-transfer measurement. Sweeps outstanding calls
+// through the Topaz RPC transport and prints the bandwidth curve whose
+// knee the paper reports: "The remote server can sustain a bandwidth of
+// 4.6 megabits per second using an average of three concurrent threads."
+package main
+
+import (
+	"fmt"
+
+	"firefly/internal/rpc"
+)
+
+func main() {
+	fmt.Println("Topaz RPC data transfer: bandwidth vs outstanding calls")
+	fmt.Println("(1 KB fragments over a 10 Mbit/s Ethernet; MicroVAX-era stage costs)")
+	fmt.Println()
+	fmt.Printf("%8s %10s %16s %12s %10s\n",
+		"threads", "Mbit/s", "latency (µs)", "server util", "wire util")
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 8} {
+		r := rpc.Run(rpc.Config{}, n, 2.0)
+		fmt.Printf("%8d %10.2f %16.0f %12.2f %10.2f\n",
+			n, r.Mbps, r.MeanLatencyUS, r.ServerUtil, r.WireUtil)
+	}
+
+	fmt.Println("\nEvery call's bytes really cross the transport: the server")
+	fmt.Println("unmarshals each message and a corrupted one would be counted.")
+	r := rpc.Run(rpc.Config{}, 3, 1.0)
+	fmt.Printf("messages verified: %d ok, %d bad\n", r.MarshalledOK, r.MarshalledBad)
+
+	fmt.Println("\nFragment size matters — larger fragments amortize fixed costs:")
+	for _, bytes := range []int{256, 1024, 4096} {
+		r := rpc.Run(rpc.Config{PayloadBytes: bytes}, 4, 1.0)
+		fmt.Printf("  %4d-byte fragments: %.2f Mbit/s\n", bytes, r.Mbps)
+	}
+}

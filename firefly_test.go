@@ -1,0 +1,87 @@
+package firefly_test
+
+import (
+	"strings"
+	"testing"
+
+	"firefly"
+	"firefly/internal/topaz"
+)
+
+func TestNewMicroVAXFiveCPU(t *testing.T) {
+	m := firefly.NewMicroVAX(5)
+	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.Warmup(50_000)
+	m.RunSeconds(0.002)
+	rep := m.Report()
+	if rep.Processors != 5 {
+		t.Fatalf("processors = %d", rep.Processors)
+	}
+	if rep.BusLoad <= 0.2 || rep.BusLoad >= 0.7 {
+		t.Fatalf("bus load = %v", rep.BusLoad)
+	}
+	if !strings.Contains(rep.String(), "5-CPU system") {
+		t.Fatal("report rendering broken")
+	}
+}
+
+func TestNewCVAX(t *testing.T) {
+	m := firefly.NewCVAX(2)
+	if m.Memory().Bytes() != 128<<20 {
+		t.Fatalf("CVAX memory = %d", m.Memory().Bytes())
+	}
+}
+
+func TestBootAndFork(t *testing.T) {
+	m := firefly.NewMicroVAX(2)
+	k := firefly.Boot(m, firefly.KernelConfig{AvoidMigration: true})
+	k.Fork(topaz.Seq(topaz.Compute{Instructions: 10_000}), topaz.ThreadSpec{}, nil)
+	if !k.RunUntilDone(20_000_000) {
+		t.Fatal("thread did not finish")
+	}
+}
+
+func TestProtocolSuite(t *testing.T) {
+	ps := firefly.Protocols()
+	if len(ps) != 5 || ps[0].Name() != "firefly" {
+		t.Fatalf("protocol suite wrong: %d entries", len(ps))
+	}
+	if firefly.ProtocolByName("dragon") == nil {
+		t.Fatal("dragon missing")
+	}
+	if firefly.FireflyProtocol().Name() != "firefly" {
+		t.Fatal("FireflyProtocol wrong")
+	}
+}
+
+func TestModelFacade(t *testing.T) {
+	p := firefly.MicroVAXModel()
+	pt := p.At(5)
+	if pt.TP < 4.0 || pt.TP > 4.5 {
+		t.Fatalf("TP(5) = %v", pt.TP)
+	}
+	if err := firefly.CVAXModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := firefly.Variants()
+	if len(vs) != 2 || vs[0].TickCycles != 2 || vs[1].TickCycles != 1 {
+		t.Fatalf("variants wrong: %+v", vs)
+	}
+}
+
+func TestCustomConfig(t *testing.T) {
+	cfg := firefly.MachineConfig{
+		Processors: 3,
+		Variant:    firefly.Variants()[0],
+		Protocol:   firefly.ProtocolByName("mesi"),
+	}
+	m := firefly.NewMachine(cfg)
+	m.AttachSyntheticSources(0.1, 0.2, 0.2)
+	m.Run(100_000)
+	if m.Report().MeanCPU().Total == 0 {
+		t.Fatal("custom machine made no progress")
+	}
+}

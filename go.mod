@@ -1,0 +1,3 @@
+module firefly
+
+go 1.22

@@ -1,0 +1,92 @@
+package coherence
+
+import (
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// Berkeley is the Berkeley Ownership protocol (Katz et al., cited as [7]):
+// a write-back invalidation protocol in which a cache must acquire
+// ownership of a line before writing it. The owner supplies data on reads
+// (main memory is NOT updated while ownership is cached) and is
+// responsible for the eventual write-back.
+//
+// States: core.Shared is UnOwned, core.Dirty is OwnedExclusive,
+// core.SharedDirty is OwnedShared. core.Exclusive is never entered: Berkeley
+// has no clean-exclusive state.
+type Berkeley struct{}
+
+// Name implements core.Protocol.
+func (Berkeley) Name() string { return "berkeley" }
+
+// WriteMissDirect implements core.Protocol: write misses must acquire the
+// line (read-for-ownership), never write through.
+func (Berkeley) WriteMissDirect() bool { return false }
+
+// FillOp implements core.Protocol: write misses use read-for-ownership,
+// which invalidates every other copy.
+func (Berkeley) FillOp(write bool) mbus.OpKind {
+	if write {
+		return mbus.MReadOwn
+	}
+	return mbus.MRead
+}
+
+// AfterFill implements core.Protocol. A read fill arrives UnOwned; a
+// read-for-ownership arrives OwnedExclusive (everyone else invalidated).
+func (Berkeley) AfterFill(write, shared bool) core.State {
+	if write {
+		return core.Dirty
+	}
+	return core.Shared
+}
+
+// AfterDirectWriteMiss implements core.Protocol; unreachable because
+// WriteMissDirect is false.
+func (Berkeley) AfterDirectWriteMiss(shared bool) core.State { return core.Dirty }
+
+// WriteHitOp implements core.Protocol: writing an UnOwned or OwnedShared
+// line requires an invalidation to claim exclusive ownership.
+func (Berkeley) WriteHitOp(s core.State) (mbus.OpKind, bool) {
+	switch s {
+	case core.Shared, core.SharedDirty:
+		return mbus.MInv, true
+	}
+	return 0, false
+}
+
+// AfterWriteHit implements core.Protocol: the writer ends OwnedExclusive.
+func (Berkeley) AfterWriteHit(s core.State, usedBus, shared bool) core.State {
+	return core.Dirty
+}
+
+// NeedsWriteBack implements core.Protocol: owners write back on eviction.
+func (Berkeley) NeedsWriteBack(s core.State) bool {
+	return s == core.Dirty || s == core.SharedDirty
+}
+
+// Snoop implements core.Protocol.
+func (Berkeley) Snoop(s core.State, op mbus.OpKind) core.SnoopAction {
+	switch op {
+	case mbus.MRead:
+		// The owner supplies and becomes OwnedShared; memory stays stale
+		// (ownership, not reflection, guarantees the current value).
+		if s.IsDirty() {
+			return core.SnoopAction{Next: core.SharedDirty, AssertShared: true, Supply: true}
+		}
+		return core.SnoopAction{Next: core.Shared, AssertShared: true}
+	case mbus.MReadOwn:
+		// Ownership transfers to the requester; the old owner supplies the
+		// current value and everyone invalidates.
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true, Supply: s.IsDirty()}
+	case mbus.MInv:
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true}
+	case mbus.MWrite:
+		// A victim write-back (or DMA write) passes: UnOwned copies take
+		// the data and remain valid; memory is updated by the operation.
+		return core.SnoopAction{Next: core.Shared, AssertShared: true, TakeData: true}
+	}
+	return core.SnoopAction{Next: s, AssertShared: true}
+}
+
+var _ core.Protocol = Berkeley{}

@@ -1,0 +1,83 @@
+// Package coherence provides the baseline snoopy coherence protocols the
+// paper positions the Firefly protocol against (§5.1, citing the
+// Archibald & Baer survey): simple write-through with invalidation, the
+// Berkeley Ownership protocol, the Xerox Dragon update protocol, and a
+// MESI-style invalidation protocol. Each implements core.Protocol and runs
+// on the same cache controller and MBus timing as the Firefly protocol, so
+// comparisons isolate the protocol itself.
+//
+// State mapping onto core.State:
+//
+//	core.Exclusive   — valid/clean/exclusive (MESI E, Dragon Exclusive)
+//	core.Dirty       — modified/exclusive (MESI M, Berkeley OwnedExclusive,
+//	                   Dragon Dirty)
+//	core.Shared      — valid/clean/shared (MESI S, Berkeley UnOwned,
+//	                   Dragon SharedClean; the only valid WTI state)
+//	core.SharedDirty — modified/shared owner (Berkeley OwnedShared,
+//	                   Dragon SharedDirty); unused by WTI and MESI
+package coherence
+
+import (
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// WriteThroughInvalidate is the simplest snoopy protocol: every CPU write
+// is sent to the bus and other caches invalidate their copies. The paper
+// dismisses it for more than a few processors — "the substantial write
+// traffic will rapidly saturate the bus, and extra misses will be required
+// to reload invalidated lines" — which the protocol-comparison experiment
+// demonstrates.
+type WriteThroughInvalidate struct{}
+
+// Name implements core.Protocol.
+func (WriteThroughInvalidate) Name() string { return "write-through-invalidate" }
+
+// WriteMissDirect implements core.Protocol: every write is a write-through,
+// so write misses never fill.
+func (WriteThroughInvalidate) WriteMissDirect() bool { return true }
+
+// FillOp implements core.Protocol.
+func (WriteThroughInvalidate) FillOp(write bool) mbus.OpKind { return mbus.MRead }
+
+// AfterFill implements core.Protocol. Lines are never dirty; the
+// shared/exclusive distinction only records presence elsewhere.
+func (WriteThroughInvalidate) AfterFill(write, shared bool) core.State {
+	if shared {
+		return core.Shared
+	}
+	return core.Exclusive
+}
+
+// AfterDirectWriteMiss implements core.Protocol. The write invalidated
+// every other copy, so the line is exclusive.
+func (WriteThroughInvalidate) AfterDirectWriteMiss(shared bool) core.State {
+	return core.Exclusive
+}
+
+// WriteHitOp implements core.Protocol: all writes go to the bus.
+func (WriteThroughInvalidate) WriteHitOp(s core.State) (mbus.OpKind, bool) {
+	return mbus.MWrite, true
+}
+
+// AfterWriteHit implements core.Protocol.
+func (WriteThroughInvalidate) AfterWriteHit(s core.State, usedBus, shared bool) core.State {
+	return core.Exclusive // every other copy was just invalidated
+}
+
+// NeedsWriteBack implements core.Protocol: lines are never dirty.
+func (WriteThroughInvalidate) NeedsWriteBack(s core.State) bool { return false }
+
+// Snoop implements core.Protocol: snooped writes invalidate; snooped reads
+// leave the copy valid (memory is always current under write-through).
+func (WriteThroughInvalidate) Snoop(s core.State, op mbus.OpKind) core.SnoopAction {
+	switch op {
+	case mbus.MRead:
+		return core.SnoopAction{Next: core.Shared, AssertShared: true}
+	case mbus.MWrite, mbus.MReadOwn, mbus.MInv, mbus.MUpdate:
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true}
+	}
+	return core.SnoopAction{Next: s, AssertShared: true}
+}
+
+var _ core.Protocol = WriteThroughInvalidate{}

@@ -1,0 +1,96 @@
+package coherence
+
+import (
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// Dragon is the Xerox Dragon update protocol (McCreight, cited as [8]),
+// the design the paper identifies as the Firefly protocol's closest
+// relative ("The Xerox Dragon uses a similar scheme"). Like Firefly,
+// writes to shared lines broadcast the new value and sharers update in
+// place; unlike Firefly, the broadcast does not update main memory — the
+// writer becomes the line's owner (SharedDirty) and supplies data and the
+// eventual write-back.
+type Dragon struct{}
+
+// Name implements core.Protocol.
+func (Dragon) Name() string { return "dragon" }
+
+// WriteMissDirect implements core.Protocol: Dragon write misses fill
+// first, then broadcast the update if the line is shared.
+func (Dragon) WriteMissDirect() bool { return false }
+
+// FillOp implements core.Protocol.
+func (Dragon) FillOp(write bool) mbus.OpKind { return mbus.MRead }
+
+// AfterFill implements core.Protocol.
+func (Dragon) AfterFill(write, shared bool) core.State {
+	if shared {
+		return core.Shared
+	}
+	return core.Exclusive
+}
+
+// AfterDirectWriteMiss implements core.Protocol; unreachable because
+// WriteMissDirect is false.
+func (Dragon) AfterDirectWriteMiss(shared bool) core.State { return core.Dirty }
+
+// WriteHitOp implements core.Protocol: shared lines broadcast an MUpdate
+// (cache-to-cache only, memory untouched); exclusive lines write locally.
+func (Dragon) WriteHitOp(s core.State) (mbus.OpKind, bool) {
+	if s.IsShared() {
+		return mbus.MUpdate, true
+	}
+	return 0, false
+}
+
+// AfterWriteHit implements core.Protocol. A local write dirties the line;
+// after a broadcast the writer owns the line — SharedDirty while others
+// still hold it, plain Dirty if the MShared response shows it is now
+// private (the Dragon analogue of Firefly's conditional write-through
+// reverting to write-back).
+func (Dragon) AfterWriteHit(s core.State, usedBus, shared bool) core.State {
+	if !usedBus {
+		return core.Dirty
+	}
+	if shared {
+		return core.SharedDirty
+	}
+	return core.Dirty
+}
+
+// NeedsWriteBack implements core.Protocol: owners (Dirty or SharedDirty)
+// hold the only current copy relative to memory.
+func (Dragon) NeedsWriteBack(s core.State) bool {
+	return s == core.Dirty || s == core.SharedDirty
+}
+
+// Snoop implements core.Protocol.
+func (Dragon) Snoop(s core.State, op mbus.OpKind) core.SnoopAction {
+	switch op {
+	case mbus.MRead:
+		switch s {
+		case core.Dirty:
+			// Owner supplies; retains ownership as SharedDirty.
+			return core.SnoopAction{Next: core.SharedDirty, AssertShared: true, Supply: true}
+		case core.SharedDirty:
+			return core.SnoopAction{Next: core.SharedDirty, AssertShared: true, Supply: true}
+		default:
+			return core.SnoopAction{Next: core.Shared, AssertShared: true}
+		}
+	case mbus.MUpdate:
+		// Another cache wrote a shared line: take the data; the writer is
+		// the new owner, so any local ownership is relinquished.
+		return core.SnoopAction{Next: core.Shared, AssertShared: true, TakeData: true}
+	case mbus.MWrite:
+		// Victim write-back or DMA write: take the data and stay clean.
+		return core.SnoopAction{Next: core.Shared, AssertShared: true, TakeData: true}
+	case mbus.MReadOwn, mbus.MInv:
+		// Not used by Dragon; react safely.
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true, Supply: op == mbus.MReadOwn && s.IsDirty()}
+	}
+	return core.SnoopAction{Next: s, AssertShared: true}
+}
+
+var _ core.Protocol = Dragon{}

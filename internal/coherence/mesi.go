@@ -1,0 +1,116 @@
+package coherence
+
+import (
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// MESI is a four-state write-back invalidation protocol of the kind the
+// paper alludes to when noting that "a coherence protocol that invalidates
+// the contents of other caches when shared locations are written avoids
+// [conditional write-through's migration cost], but performs poorly when
+// actual sharing occurs, since the invalidated information must be
+// reloaded when the CPU next references it."
+//
+// A modified line flushed in response to a snooped read is reflected into
+// main memory (the conventional MESI M->S transition), so memory is
+// current whenever no modified copy exists.
+type MESI struct{}
+
+// Name implements core.Protocol.
+func (MESI) Name() string { return "mesi" }
+
+// WriteMissDirect implements core.Protocol: write misses read-for-
+// ownership rather than writing through.
+func (MESI) WriteMissDirect() bool { return false }
+
+// FillOp implements core.Protocol.
+func (MESI) FillOp(write bool) mbus.OpKind {
+	if write {
+		return mbus.MReadOwn
+	}
+	return mbus.MRead
+}
+
+// AfterFill implements core.Protocol: reads arrive E or S by the MShared
+// response; ownership reads arrive M (everyone else invalidated, and the
+// imminent local write will dirty the line).
+func (MESI) AfterFill(write, shared bool) core.State {
+	if write {
+		return core.Dirty
+	}
+	if shared {
+		return core.Shared
+	}
+	return core.Exclusive
+}
+
+// AfterDirectWriteMiss implements core.Protocol; unreachable because
+// WriteMissDirect is false.
+func (MESI) AfterDirectWriteMiss(shared bool) core.State { return core.Dirty }
+
+// WriteHitOp implements core.Protocol: S needs an invalidation; E and M
+// write silently.
+func (MESI) WriteHitOp(s core.State) (mbus.OpKind, bool) {
+	if s == core.Shared {
+		return mbus.MInv, true
+	}
+	return 0, false
+}
+
+// AfterWriteHit implements core.Protocol: every write ends in M.
+func (MESI) AfterWriteHit(s core.State, usedBus, shared bool) core.State {
+	return core.Dirty
+}
+
+// NeedsWriteBack implements core.Protocol.
+func (MESI) NeedsWriteBack(s core.State) bool { return s == core.Dirty }
+
+// Snoop implements core.Protocol.
+func (MESI) Snoop(s core.State, op mbus.OpKind) core.SnoopAction {
+	switch op {
+	case mbus.MRead:
+		if s == core.Dirty {
+			// Flush: supply the data and reflect it into memory; both
+			// copies are then clean and shared.
+			return core.SnoopAction{Next: core.Shared, AssertShared: true, Supply: true, MemWrite: true}
+		}
+		return core.SnoopAction{Next: core.Shared, AssertShared: true}
+	case mbus.MReadOwn:
+		// Ownership transfer: supply if modified, then invalidate.
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true, Supply: s == core.Dirty, MemWrite: s == core.Dirty}
+	case mbus.MInv:
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true}
+	case mbus.MWrite:
+		// DMA or victim traffic: invalidation keeps the protocol simple
+		// and correct (the conventional choice for MESI DMA).
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true}
+	case mbus.MUpdate:
+		return core.SnoopAction{Next: core.Invalid, AssertShared: true}
+	}
+	return core.SnoopAction{Next: s, AssertShared: true}
+}
+
+var _ core.Protocol = MESI{}
+
+// All returns every protocol in the suite, the Firefly protocol first —
+// the order used by the comparison harnesses.
+func All() []core.Protocol {
+	return []core.Protocol{
+		core.Firefly{},
+		Dragon{},
+		Berkeley{},
+		MESI{},
+		WriteThroughInvalidate{},
+	}
+}
+
+// ByName returns the protocol with the given Name, or nil.
+func ByName(name string) core.Protocol {
+	for _, p := range All() {
+		if p.Name() == name {
+			return p
+		}
+	}
+	return nil
+}

@@ -1,0 +1,599 @@
+package core
+
+import (
+	"fmt"
+
+	"firefly/internal/mbus"
+	"firefly/internal/sim"
+)
+
+// Standard cache geometries from the paper. Lines are always one 4-byte
+// longword: "Each cache is direct mapped, and in the original version of
+// the system, contained 4096 four-byte lines" (§5); the CVAX cache has
+// 16384 lines.
+const (
+	MicroVAXLines = 4096
+	CVAXLines     = 16384
+	LineBytes     = 4
+)
+
+// Access is one CPU reference presented to the cache.
+type Access struct {
+	// Write distinguishes CPU writes from reads.
+	Write bool
+	// Partial marks a sub-longword write (byte or word on the VAX), which
+	// cannot use the Firefly direct write-miss optimization and must fill
+	// the line first.
+	Partial bool
+	// Addr is the referenced byte address.
+	Addr mbus.Addr
+	// Data is the resulting longword value for writes (the simulator
+	// models partial writes as read-modify-write producing Data).
+	Data uint32
+}
+
+// Stats counts cache activity. Field names follow the measurement
+// categories of the paper's Table 2.
+type Stats struct {
+	Reads  uint64 // CPU read references
+	Writes uint64 // CPU write references
+
+	ReadHits  uint64
+	WriteHits uint64
+	// LocalWriteHits are write hits completed with no bus traffic
+	// (non-shared lines under write-back).
+	LocalWriteHits uint64
+	ReadMisses     uint64
+	WriteMisses    uint64
+
+	Fills uint64 // MRead/MReadOwn line loads
+	// FillOps and VictimOps count individual bus operations; with
+	// one-longword lines they equal Fills and VictimWrites, with W-word
+	// lines each fill or write-back issues W operations.
+	FillOps   uint64
+	VictimOps uint64
+	// DirectWriteMisses used the Firefly longword optimization: a single
+	// write-through with no fill.
+	DirectWriteMisses uint64
+	VictimWrites      uint64 // dirty victim write-backs
+	// WriteThroughShared counts write-throughs that received MShared (true
+	// sharing); WriteThroughClean counts those that did not (the "last
+	// sharer" write that reverts a line to write-back).
+	WriteThroughShared uint64
+	WriteThroughClean  uint64
+	Invalidations      uint64 // bus ops this cache issued to invalidate others
+
+	SnoopProbes   uint64 // tag-store probes caused by other agents
+	SnoopHits     uint64
+	SnoopSupplies uint64 // reads answered from this cache
+	SnoopTakes    uint64 // update data absorbed from the bus
+	SnoopInvals   uint64 // lines invalidated by snooped ops
+
+	StallCycles uint64 // cycles a CPU access waited on this cache
+}
+
+// BusOps returns the number of MBus operations this cache initiated.
+// Direct write misses are not an addend: they are already counted in the
+// write-through buckets (they are non-victim MWrites, which is how the
+// paper's Table 2 measurement rig categorizes them).
+func (s Stats) BusOps() uint64 {
+	return s.FillOps + s.VictimOps +
+		s.WriteThroughShared + s.WriteThroughClean + s.Invalidations
+}
+
+// MissRate returns misses over references.
+func (s Stats) MissRate() float64 {
+	refs := s.Reads + s.Writes
+	if refs == 0 {
+		return 0
+	}
+	return float64(s.ReadMisses+s.WriteMisses) / float64(refs)
+}
+
+// sequencer phases for a multi-operation CPU access.
+type seqPhase uint8
+
+const (
+	seqIdle seqPhase = iota
+	seqDeferred
+	seqVictim
+	seqFill
+	seqWriteThrough
+	seqDirectWrite
+)
+
+// Cache is a direct-mapped snoopy cache attached to one MBus port. It is
+// an mbus.Initiator and mbus.Snooper. One CPU access may be outstanding at
+// a time, mirroring the MicroVAX's single memory interface.
+type Cache struct {
+	clock     *sim.Clock
+	proto     Protocol
+	lines     int
+	lineWords int // longwords per line (1 on the real Firefly)
+
+	tags   []mbus.Addr // line base address; meaningful when state != Invalid
+	states []State
+	data   []uint32 // lines*lineWords longwords
+
+	// outstanding CPU access
+	phase    seqPhase
+	acc      Access
+	accIdx   int
+	deferred bool // waiting for a pending snoop on the same set to commit
+	lastRead uint32
+	// multi-word transfer progress
+	xferWord   int
+	fillBuf    []uint32
+	fillShared bool
+	victimBase mbus.Addr
+
+	// pending bus request
+	reqValid bool
+	req      mbus.Request
+
+	// snoop in progress (between probe and commit)
+	snoopIdx   int
+	snoopLive  bool
+	lastProbed sim.Cycle
+	// doneAt latches the completion cycle of the last bus-borne access;
+	// Busy reports true through that cycle so the processor charges the
+	// full bus-operation time (the model's N ticks per MBus operation).
+	doneAt sim.Cycle
+
+	stats Stats
+}
+
+// NewCache returns a cache with the given number of one-longword lines,
+// the hardware geometry. lines must be a power of two (the hardware
+// indexes with address bits).
+func NewCache(clock *sim.Clock, proto Protocol, lines int) *Cache {
+	return NewCacheGeometry(clock, proto, lines, 1)
+}
+
+// NewCacheGeometry returns a cache with lines of lineWords longwords —
+// the geometry the paper's footnote weighs and rejects ("A larger line
+// would probably have reduced the miss rate considerably, but it would
+// have complicated the design of the cache, the MBus, and the storage
+// modules"). A W-word line fills and writes back with W sequential MBus
+// operations, since the bus moves one longword per operation. Every cache
+// on one bus must use the same geometry. Both lines and lineWords must be
+// powers of two.
+func NewCacheGeometry(clock *sim.Clock, proto Protocol, lines, lineWords int) *Cache {
+	if lines <= 0 || lines&(lines-1) != 0 {
+		panic(fmt.Sprintf("core: cache lines must be a power of two, got %d", lines))
+	}
+	if lineWords <= 0 || lineWords&(lineWords-1) != 0 {
+		panic(fmt.Sprintf("core: line words must be a power of two, got %d", lineWords))
+	}
+	return &Cache{
+		clock:     clock,
+		proto:     proto,
+		lines:     lines,
+		lineWords: lineWords,
+		tags:      make([]mbus.Addr, lines),
+		states:    make([]State, lines),
+		data:      make([]uint32, lines*lineWords),
+		fillBuf:   make([]uint32, lineWords),
+	}
+}
+
+// NewMicroVAXCache returns the 16 KB original Firefly cache.
+func NewMicroVAXCache(clock *sim.Clock, proto Protocol) *Cache {
+	return NewCache(clock, proto, MicroVAXLines)
+}
+
+// NewCVAXCache returns the 64 KB second-version cache.
+func NewCVAXCache(clock *sim.Clock, proto Protocol) *Cache {
+	return NewCache(clock, proto, CVAXLines)
+}
+
+// Protocol returns the coherence protocol the cache runs.
+func (c *Cache) Protocol() Protocol { return c.proto }
+
+// Lines returns the cache's line count.
+func (c *Cache) Lines() int { return c.lines }
+
+// Stats returns a snapshot of the cache's counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears the counters without disturbing cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineWords returns the line size in longwords.
+func (c *Cache) LineWords() int { return c.lineWords }
+
+// LineBytes returns the line size in bytes.
+func (c *Cache) LineBytes() int { return c.lineWords * 4 }
+
+// lineBase returns the address of the line containing addr.
+func (c *Cache) lineBase(addr mbus.Addr) mbus.Addr {
+	return addr &^ mbus.Addr(c.lineWords*4-1)
+}
+
+func (c *Cache) index(addr mbus.Addr) int {
+	return (int(uint32(addr)>>2) / c.lineWords) & (c.lines - 1)
+}
+
+// wordOff returns addr's longword offset within its line.
+func (c *Cache) wordOff(addr mbus.Addr) int {
+	return int(uint32(addr)>>2) & (c.lineWords - 1)
+}
+
+// word returns the data-store slot for addr within set idx.
+func (c *Cache) word(idx int, addr mbus.Addr) *uint32 {
+	return &c.data[idx*c.lineWords+c.wordOff(addr)]
+}
+
+// lookup returns the set index and whether the line is present.
+func (c *Cache) lookup(addr mbus.Addr) (int, bool) {
+	idx := c.index(addr)
+	return idx, c.states[idx].Valid() && c.tags[idx] == c.lineBase(addr)
+}
+
+// Contains reports whether addr's line is resident. It is a measurement
+// aid for synthetic reference generators and does not touch the counters.
+func (c *Cache) Contains(addr mbus.Addr) bool {
+	_, hit := c.lookup(addr)
+	return hit
+}
+
+// LineState returns the coherence state of addr's line (Invalid if the
+// set holds a different tag).
+func (c *Cache) LineState(addr mbus.Addr) State {
+	idx, hit := c.lookup(addr)
+	if !hit {
+		return Invalid
+	}
+	return c.states[idx]
+}
+
+// PeekWord returns the cached value for addr; ok is false on a miss.
+// Measurement aid; no counter effects.
+func (c *Cache) PeekWord(addr mbus.Addr) (uint32, bool) {
+	idx, hit := c.lookup(addr)
+	if !hit {
+		return 0, false
+	}
+	return *c.word(idx, addr), true
+}
+
+// ResidentLine returns the line address stored in set idx, if valid.
+// Synthetic generators use it to construct guaranteed hits.
+func (c *Cache) ResidentLine(idx int) (mbus.Addr, bool) {
+	if idx < 0 || idx >= c.lines || !c.states[idx].Valid() {
+		return 0, false
+	}
+	return c.tags[idx], true
+}
+
+// DirtyFraction returns the fraction of valid lines that are dirty — the
+// paper's D parameter (0.25 in the MicroVAX simulations).
+func (c *Cache) DirtyFraction() float64 {
+	valid, dirty := 0, 0
+	for _, s := range c.states {
+		if s.Valid() {
+			valid++
+			if s.IsDirty() {
+				dirty++
+			}
+		}
+	}
+	if valid == 0 {
+		return 0
+	}
+	return float64(dirty) / float64(valid)
+}
+
+// ValidLines returns the number of valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, s := range c.states {
+		if s.Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// Busy reports whether a CPU access is still in progress. An access that
+// needed the bus remains busy through its completion cycle.
+func (c *Cache) Busy() bool {
+	return c.phase != seqIdle || (c.doneAt != 0 && c.clock.Now() <= c.doneAt)
+}
+
+// LastRead returns the data produced by the most recent completed read.
+func (c *Cache) LastRead() uint32 { return c.lastRead }
+
+// TagStoreBusyAt reports whether the tag store serviced a snoop probe at
+// the given cycle. The CPU uses this to model the paper's SP term: "Each
+// CPU cache access that hits will be slowed by one tick if an MBus
+// operation needs to access the tag store during the same cycle as the
+// CPU" (§5.2).
+func (c *Cache) TagStoreBusyAt(cycle sim.Cycle) bool {
+	return c.lastProbed == cycle && cycle != 0
+}
+
+// TagStoreBusyWithin reports whether a snoop probe used the tag store in
+// the half-open window (now-window, now] — the conflict test for a CPU
+// whose tick spans `window` bus cycles.
+func (c *Cache) TagStoreBusyWithin(now sim.Cycle, window int) bool {
+	return c.lastProbed != 0 && now-c.lastProbed < sim.Cycle(window)
+}
+
+// Submit presents a CPU reference. It returns true if the access completed
+// immediately (a hit needing no bus work); otherwise the CPU must stall
+// until Busy() reports false. Submitting while Busy panics: the MicroVAX
+// memory interface has a single outstanding reference.
+func (c *Cache) Submit(acc Access) (done bool) {
+	if c.phase != seqIdle {
+		panic("core: Submit while access in progress")
+	}
+	if acc.Write {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	c.acc = acc
+	if c.snoopLive && c.snoopIdx == c.index(acc.Addr) {
+		// A snoop on this set is between probe and commit; the tag store
+		// is committed to the bus transaction. Defer one cycle.
+		c.phase = seqDeferred
+		c.deferred = true
+		return false
+	}
+	return c.begin()
+}
+
+// begin starts processing c.acc. Returns true if it completed.
+func (c *Cache) begin() bool {
+	c.deferred = false
+	acc := c.acc
+	idx, hit := c.lookup(acc.Addr)
+	c.accIdx = idx
+	if hit {
+		if !acc.Write {
+			c.stats.ReadHits++
+			c.lastRead = *c.word(idx, acc.Addr)
+			c.phase = seqIdle
+			return true
+		}
+		c.stats.WriteHits++
+		op, needBus := c.proto.WriteHitOp(c.states[idx])
+		if !needBus {
+			c.stats.LocalWriteHits++
+			*c.word(idx, acc.Addr) = acc.Data
+			c.states[idx] = c.proto.AfterWriteHit(c.states[idx], false, false)
+			c.phase = seqIdle
+			return true
+		}
+		// Conditional write-through (or invalidation) for a shared line.
+		// The data store is updated when the bus operation completes, not
+		// before: until the write is serialized on the bus, other sharers
+		// hold the old value and this cache must supply the same old value
+		// if snooped.
+		c.phase = seqWriteThrough
+		c.raise(op, acc.Addr, acc.Data)
+		return false
+	}
+
+	// Miss.
+	if acc.Write {
+		c.stats.WriteMisses++
+	} else {
+		c.stats.ReadMisses++
+	}
+	if c.states[idx].Valid() && c.proto.NeedsWriteBack(c.states[idx]) {
+		c.phase = seqVictim
+		c.victimBase = c.tags[idx]
+		c.xferWord = 0
+		c.raiseVictimWord()
+		return false
+	}
+	c.startMissOps()
+	return false
+}
+
+// startMissOps issues the fill or direct write for the current miss, after
+// any victim write has drained.
+func (c *Cache) startMissOps() {
+	acc := c.acc
+	// The direct write-through optimization applies only when the write
+	// covers the whole line — i.e. with the hardware's one-longword lines.
+	if acc.Write && !acc.Partial && c.lineWords == 1 && c.proto.WriteMissDirect() {
+		c.phase = seqDirectWrite
+		c.raise(mbus.MWrite, acc.Addr, acc.Data)
+		return
+	}
+	c.phase = seqFill
+	c.xferWord = 0
+	c.fillShared = false
+	c.raiseFillWord()
+}
+
+func (c *Cache) raise(op mbus.OpKind, addr mbus.Addr, data uint32) {
+	c.reqValid = true
+	c.req = mbus.Request{Op: op, Addr: addr.Line(), Data: data}
+}
+
+// raiseFillWord requests the next word of the line being filled.
+func (c *Cache) raiseFillWord() {
+	base := c.lineBase(c.acc.Addr)
+	c.raise(c.proto.FillOp(c.acc.Write), base+mbus.Addr(c.xferWord*4), 0)
+}
+
+// raiseVictimWord writes back the next word of the victim line.
+func (c *Cache) raiseVictimWord() {
+	idx := c.accIdx
+	addr := c.victimBase + mbus.Addr(c.xferWord*4)
+	c.raise(mbus.MWrite, addr, c.data[idx*c.lineWords+c.xferWord])
+}
+
+// Step processes deferred work; the machine calls it once per cycle before
+// stepping the bus.
+func (c *Cache) Step() {
+	if c.deferred && !c.snoopLive {
+		c.begin()
+	}
+}
+
+// BusRequest implements mbus.Initiator.
+func (c *Cache) BusRequest() (mbus.Request, bool) {
+	if !c.reqValid {
+		return mbus.Request{}, false
+	}
+	return c.req, true
+}
+
+// BusGrant implements mbus.Initiator.
+func (c *Cache) BusGrant() { c.reqValid = false }
+
+// BusComplete implements mbus.Initiator.
+func (c *Cache) BusComplete(res mbus.Result) {
+	switch c.phase {
+	case seqVictim:
+		c.stats.VictimOps++
+		c.xferWord++
+		if c.xferWord < c.lineWords {
+			c.raiseVictimWord()
+			return
+		}
+		c.stats.VictimWrites++
+		// The victim slot is now reusable; the line is logically gone.
+		c.states[c.accIdx] = Invalid
+		c.startMissOps()
+
+	case seqFill:
+		c.stats.FillOps++
+		c.fillBuf[c.xferWord] = res.Data
+		c.fillShared = c.fillShared || res.Shared
+		c.xferWord++
+		if c.xferWord < c.lineWords {
+			c.raiseFillWord()
+			return
+		}
+		c.stats.Fills++
+		idx := c.accIdx
+		c.tags[idx] = c.lineBase(c.acc.Addr)
+		copy(c.data[idx*c.lineWords:(idx+1)*c.lineWords], c.fillBuf)
+		c.states[idx] = c.proto.AfterFill(c.acc.Write, c.fillShared)
+		if !c.acc.Write {
+			c.lastRead = *c.word(idx, c.acc.Addr)
+			c.finish()
+			return
+		}
+		// Complete the write as a hit on the just-filled line.
+		op, needBus := c.proto.WriteHitOp(c.states[idx])
+		if !needBus {
+			*c.word(idx, c.acc.Addr) = c.acc.Data
+			c.states[idx] = c.proto.AfterWriteHit(c.states[idx], false, false)
+			c.finish()
+			return
+		}
+		// Shared after fill: write through. The filled (old) value stays in
+		// the data store until the write-through is serialized on the bus.
+		c.phase = seqWriteThrough
+		c.raise(op, c.acc.Addr, c.acc.Data)
+
+	case seqWriteThrough:
+		idx := c.accIdx
+		switch res.Op {
+		case mbus.MWrite, mbus.MUpdate:
+			if res.Shared {
+				c.stats.WriteThroughShared++
+			} else {
+				c.stats.WriteThroughClean++
+			}
+		case mbus.MInv:
+			c.stats.Invalidations++
+		}
+		*c.word(idx, c.acc.Addr) = c.acc.Data
+		c.states[idx] = c.proto.AfterWriteHit(c.states[idx], true, res.Shared)
+		c.finish()
+
+	case seqDirectWrite:
+		c.stats.DirectWriteMisses++
+		if res.Shared {
+			c.stats.WriteThroughShared++
+		} else {
+			c.stats.WriteThroughClean++
+		}
+		idx := c.accIdx
+		c.tags[idx] = c.lineBase(c.acc.Addr)
+		*c.word(idx, c.acc.Addr) = c.acc.Data
+		c.states[idx] = c.proto.AfterDirectWriteMiss(res.Shared)
+		c.finish()
+
+	default:
+		panic("core: BusComplete with no operation outstanding")
+	}
+}
+
+// finish returns the sequencer to idle, latching the completion cycle so
+// Busy stays true through it.
+func (c *Cache) finish() {
+	c.phase = seqIdle
+	c.doneAt = c.clock.Now()
+}
+
+// SnoopProbe implements mbus.Snooper.
+func (c *Cache) SnoopProbe(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.SnoopVerdict {
+	c.stats.SnoopProbes++
+	c.lastProbed = c.clock.Now()
+	idx, hit := c.lookup(addr)
+	if !hit {
+		return mbus.SnoopVerdict{}
+	}
+	c.stats.SnoopHits++
+	action := c.proto.Snoop(c.states[idx], op)
+	c.snoopIdx = idx
+	c.snoopLive = action.AssertShared // commit arrives only when MShared was driven
+	v := mbus.SnoopVerdict{HasLine: action.AssertShared}
+	if action.Supply && op.IsRead() {
+		v.Supply = true
+		v.Data = *c.word(idx, addr)
+		c.stats.SnoopSupplies++
+	}
+	// When the snoop will strip this line of its dirt (Dirty -> clean or
+	// invalid), the whole line's contents must reach memory — with
+	// one-longword lines that is the single reflected word the hardware
+	// put on the bus; with longer lines the flush covers every word.
+	if c.states[idx].IsDirty() && !action.Next.IsDirty() {
+		base := c.tags[idx]
+		for w := 0; w < c.lineWords; w++ {
+			v.Flush = append(v.Flush, mbus.WordFlush{
+				Addr: base + mbus.Addr(w*4),
+				Data: c.data[idx*c.lineWords+w],
+			})
+		}
+	}
+	return v
+}
+
+// SnoopCommit implements mbus.Snooper.
+func (c *Cache) SnoopCommit(op mbus.OpKind, addr mbus.Addr, data uint32, shared bool) {
+	if !c.snoopLive {
+		return
+	}
+	c.snoopLive = false
+	idx := c.snoopIdx
+	// The line cannot have changed between probe and commit: local writes
+	// that could change it either need the (busy) bus or were deferred.
+	action := c.proto.Snoop(c.states[idx], op)
+	if action.TakeData && op.CarriesData() {
+		*c.word(idx, addr) = data
+		c.stats.SnoopTakes++
+	}
+	if !action.Next.Valid() && c.states[idx].Valid() {
+		c.stats.SnoopInvals++
+	}
+	c.states[idx] = action.Next
+}
+
+// AddStall lets the CPU charge stall cycles it spent waiting on this
+// cache (bus waits, tag-store interference).
+func (c *Cache) AddStall(n uint64) { c.stats.StallCycles += n }
+
+var (
+	_ mbus.Initiator = (*Cache)(nil)
+	_ mbus.Snooper   = (*Cache)(nil)
+)

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"firefly/internal/mbus"
+)
+
+// TestFigure3ProtocolTable exhaustively checks the Firefly protocol's
+// decision functions against the state diagram of the paper's Figure 3.
+// P = processor-side events, M = bus-side events; the parenthesized value
+// is the MShared response.
+func TestFigure3ProtocolTable(t *testing.T) {
+	p := Firefly{}
+
+	// Processor read miss: load, Shared tag := MShared.
+	if s := p.AfterFill(false, false); s != Exclusive {
+		t.Errorf("P read miss (not MShared) -> %v, want Exclusive", s)
+	}
+	if s := p.AfterFill(false, true); s != Shared {
+		t.Errorf("P read miss (MShared) -> %v, want Shared", s)
+	}
+	// Write fills behave identically before the write is applied.
+	if s := p.AfterFill(true, false); s != Exclusive {
+		t.Errorf("P write-fill (not MShared) -> %v, want Exclusive", s)
+	}
+	if s := p.AfterFill(true, true); s != Shared {
+		t.Errorf("P write-fill (MShared) -> %v, want Shared", s)
+	}
+
+	// Longword write miss: write-through, leave clean, Shared := MShared.
+	if !p.WriteMissDirect() {
+		t.Error("Firefly must optimize longword write misses")
+	}
+	if s := p.AfterDirectWriteMiss(false); s != Exclusive {
+		t.Errorf("P write miss (not MShared) -> %v, want Exclusive", s)
+	}
+	if s := p.AfterDirectWriteMiss(true); s != Shared {
+		t.Errorf("P write miss (MShared) -> %v, want Shared", s)
+	}
+
+	// Processor write hits.
+	writeHit := []struct {
+		s       State
+		needBus bool
+		op      mbus.OpKind
+	}{
+		{Exclusive, false, 0},
+		{Dirty, false, 0},
+		{Shared, true, mbus.MWrite},
+	}
+	for _, c := range writeHit {
+		op, need := p.WriteHitOp(c.s)
+		if need != c.needBus {
+			t.Errorf("WriteHitOp(%v) needBus = %v, want %v", c.s, need, c.needBus)
+			continue
+		}
+		if need && op != c.op {
+			t.Errorf("WriteHitOp(%v) = %v, want %v", c.s, op, c.op)
+		}
+	}
+	// Local write hit: Valid/Dirty -> Dirty.
+	if s := p.AfterWriteHit(Exclusive, false, false); s != Dirty {
+		t.Errorf("P write hit Exclusive -> %v, want Dirty", s)
+	}
+	if s := p.AfterWriteHit(Dirty, false, false); s != Dirty {
+		t.Errorf("P write hit Dirty -> %v, want Dirty", s)
+	}
+	// Write-through on a shared line: clean; Shared tag follows MShared.
+	if s := p.AfterWriteHit(Shared, true, true); s != Shared {
+		t.Errorf("P write hit Shared (MShared) -> %v, want Shared", s)
+	}
+	if s := p.AfterWriteHit(Shared, true, false); s != Exclusive {
+		t.Errorf("P write hit Shared (not MShared) -> %v, want Exclusive", s)
+	}
+
+	// Victimization: only Dirty lines are written back.
+	wb := map[State]bool{Invalid: false, Exclusive: false, Dirty: true, Shared: false}
+	for s, want := range wb {
+		if got := p.NeedsWriteBack(s); got != want {
+			t.Errorf("NeedsWriteBack(%v) = %v, want %v", s, got, want)
+		}
+	}
+
+	// Bus-side (M) transitions: another cache's read makes the line Shared;
+	// another cache's write updates the copy and makes/keeps it Shared.
+	for _, s := range []State{Exclusive, Dirty, Shared} {
+		a := p.Snoop(s, mbus.MRead)
+		if a.Next != Shared || !a.AssertShared || !a.Supply {
+			t.Errorf("M read in %v -> %+v, want Shared/assert/supply", s, a)
+		}
+		if s == Dirty && !a.MemWrite {
+			t.Errorf("M read of Dirty line must refresh memory")
+		}
+		if s != Dirty && a.MemWrite {
+			t.Errorf("M read of clean %v line must not write memory", s)
+		}
+
+		aw := p.Snoop(s, mbus.MWrite)
+		if aw.Next != Shared || !aw.AssertShared || !aw.TakeData {
+			t.Errorf("M write in %v -> %+v, want Shared/assert/take", s, aw)
+		}
+	}
+
+	// The Firefly protocol never leaves a line SharedDirty and never
+	// invalidates via ordinary MBus traffic.
+	for _, s := range []State{Exclusive, Dirty, Shared} {
+		for _, op := range []mbus.OpKind{mbus.MRead, mbus.MWrite} {
+			if a := p.Snoop(s, op); a.Next == SharedDirty || a.Next == Invalid {
+				t.Errorf("Snoop(%v,%v) -> %v: Firefly must not reach it", s, op, a.Next)
+			}
+		}
+	}
+
+	if p.FillOp(false) != mbus.MRead || p.FillOp(true) != mbus.MRead {
+		t.Error("Firefly fills must use MRead: the MBus has no other read")
+	}
+	if p.Name() != "firefly" {
+		t.Errorf("name = %q", p.Name())
+	}
+}
+
+// TestFigure3ReachableStates drives a two-cache system through every arc
+// of Figure 3 and verifies the controller (not just the protocol table)
+// lands in the right state each time.
+func TestFigure3ReachableStates(t *testing.T) {
+	const a = mbus.Addr(0x100)
+	conflict := a + 16*4
+
+	type step struct {
+		cache int
+		write bool
+		addr  mbus.Addr
+		want  State // state of cache 0's line at address a after the step
+	}
+	steps := []step{
+		// Invalid --P read miss(¬MShared)--> Exclusive
+		{0, false, a, Exclusive},
+		// Exclusive --P write hit--> Dirty
+		{0, true, a, Dirty},
+		// Dirty --M read--> Shared
+		{1, false, a, Shared},
+		// Shared --P write hit(MShared)--> Shared (write-through)
+		{0, true, a, Shared},
+	}
+	r := newRig(t, 2, Firefly{}, 16)
+	for i, s := range steps {
+		if s.write {
+			r.write(t, s.cache, s.addr, uint32(i+1))
+		} else {
+			r.read(t, s.cache, s.addr)
+		}
+		if got := r.caches[0].LineState(a); got != s.want {
+			t.Fatalf("step %d: cache0 state = %v, want %v", i, got, s.want)
+		}
+	}
+
+	// Shared --P write hit(¬MShared)--> Exclusive: evict cache 1's copy
+	// first so the write-through sees no MShared.
+	r.read(t, 1, conflict)
+	r.write(t, 0, a, 99)
+	if got := r.caches[0].LineState(a); got != Exclusive {
+		t.Fatalf("unshared write-through left %v, want Exclusive", got)
+	}
+
+	// Exclusive --M write--> Shared (another cache's direct write miss).
+	r.write(t, 1, a, 100)
+	if got := r.caches[0].LineState(a); got != Shared {
+		t.Fatalf("M write left %v, want Shared", got)
+	}
+
+	// Shared --M read--> Shared.
+	r.read(t, 1, a)
+	if got := r.caches[0].LineState(a); got != Shared {
+		t.Fatalf("M read left %v, want Shared", got)
+	}
+
+	// Any --victimized--> Invalid.
+	r.read(t, 0, conflict)
+	if got := r.caches[0].LineState(a); got != Invalid {
+		t.Fatalf("victimized line state = %v, want Invalid", got)
+	}
+}
+
+func TestFireflyTransitionTableComplete(t *testing.T) {
+	recs := FireflyTransitionTable()
+	if len(recs) != 14 {
+		t.Fatalf("transition table has %d arcs, want 14", len(recs))
+	}
+	for _, r := range recs {
+		if r.To == SharedDirty {
+			t.Errorf("Firefly arc reaches SharedDirty: %+v", r)
+		}
+	}
+}

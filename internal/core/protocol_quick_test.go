@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"firefly/internal/mbus"
+)
+
+// validStates are the states the Firefly protocol can hold a line in.
+var fireflyStates = []State{Invalid, Exclusive, Dirty, Shared}
+
+// TestFireflyProtocolClosure property-checks the protocol's decision
+// functions over random inputs: every transition stays within the
+// protocol's four states, snoops on valid lines always assert MShared
+// (presence drives the wired-OR), dirty lines never lose their write-back
+// responsibility silently, and bus-needing write hits happen exactly on
+// shared lines.
+func TestFireflyProtocolClosure(t *testing.T) {
+	p := Firefly{}
+	inSet := func(s State) bool {
+		for _, v := range fireflyStates {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+
+	f := func(stateRaw, opRaw uint8, write, shared, usedBus bool) bool {
+		s := fireflyStates[int(stateRaw)%len(fireflyStates)]
+		op := mbus.OpKind(opRaw % 2) // the real MBus: MRead or MWrite
+
+		// Fill and write-miss results stay in-set and key off MShared.
+		if !inSet(p.AfterFill(write, shared)) {
+			return false
+		}
+		if p.AfterFill(write, shared).IsShared() != shared {
+			return false
+		}
+		if !inSet(p.AfterDirectWriteMiss(shared)) {
+			return false
+		}
+
+		// Write hits: bus needed iff the line is shared.
+		if s.Valid() {
+			_, needBus := p.WriteHitOp(s)
+			if needBus != s.IsShared() {
+				return false
+			}
+			next := p.AfterWriteHit(s, usedBus, shared)
+			if !inSet(next) {
+				return false
+			}
+			// A write-through leaves the line clean; a local write leaves
+			// it dirty.
+			if usedBus && next.IsDirty() {
+				return false
+			}
+			if !usedBus && !next.IsDirty() {
+				return false
+			}
+		}
+
+		// Snoops on valid lines: always assert presence, never invalidate,
+		// and a dirty line's value escapes (supply on read, take on write)
+		// before the Dirty tag clears.
+		if s.Valid() {
+			a := p.Snoop(s, op)
+			if !a.AssertShared || !inSet(a.Next) || !a.Next.Valid() {
+				return false
+			}
+			if s.IsDirty() && !a.Next.IsDirty() {
+				if op.IsRead() && !(a.Supply && a.MemWrite) {
+					return false
+				}
+				if op == mbus.MWrite && !a.TakeData {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package core implements the paper's primary contribution: the Firefly
+// coherent cache — a small direct-mapped snoopy cache whose purpose is not
+// to reduce access time but to shield the MBus from most CPU references so
+// that a modest memory system can serve several processors (§5.1).
+//
+// The package provides a generic snoopy cache controller (Cache)
+// parameterized by a coherence Protocol, plus the Firefly protocol itself:
+// conditional write-through, in which multiple caches may hold a datum,
+// non-shared lines are handled write-back, and writes to shared lines are
+// written through so every sharer and main storage are updated in place
+// (Figure 3). Baseline protocols from the Archibald & Baer survey live in
+// package coherence and plug into the same controller.
+package core
+
+import "fmt"
+
+// State is a cache line's coherence state. Firefly lines carry two tag
+// bits, Dirty and Shared, yielding the four states of Figure 3; the two
+// extra states SharedDirty (Dragon, Berkeley owners) exist only for the
+// baseline protocols and are never entered by the Firefly protocol.
+type State uint8
+
+const (
+	// Invalid: the line holds no datum.
+	Invalid State = iota
+	// Exclusive: valid, not dirty, not shared. Reads and writes are
+	// private; a write moves to Dirty with no bus traffic.
+	Exclusive
+	// Dirty: valid, modified with respect to main storage, not shared.
+	// Must be written back when victimized.
+	Dirty
+	// Shared: valid, not dirty, possibly present in other caches. CPU
+	// writes perform conditional write-through.
+	Shared
+	// SharedDirty: valid, modified, shared, and this cache owns the line
+	// (responsible for supplying data and for write-back). Used only by
+	// the Dragon and Berkeley baselines.
+	SharedDirty
+
+	// NumStates is the number of distinct states.
+	NumStates = 5
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "Invalid"
+	case Exclusive:
+		return "Exclusive"
+	case Dirty:
+		return "Dirty"
+	case Shared:
+		return "Shared"
+	case SharedDirty:
+		return "SharedDirty"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the line holds a datum.
+func (s State) Valid() bool { return s != Invalid }
+
+// IsDirty reports whether the line differs from main storage (the Dirty
+// tag bit).
+func (s State) IsDirty() bool { return s == Dirty || s == SharedDirty }
+
+// IsShared reports whether the Shared tag bit is set.
+func (s State) IsShared() bool { return s == Shared || s == SharedDirty }

@@ -1,0 +1,37 @@
+package core
+
+import "firefly/internal/mbus"
+
+// TransitionRecord describes one arc of the protocol state diagram, used
+// by the Figure 3 harness (cmd/tables -experiment figure3) to print the
+// diagram as text.
+type TransitionRecord struct {
+	From, To State
+	Event    string
+}
+
+// FireflyTransitionTable enumerates the Firefly protocol's transitions in
+// the format of the paper's Figure 3: P events are processor-side, M
+// events are bus-side, and the parenthesized value is the MShared
+// response. The tests in figure3_test.go verify each arc dynamically
+// through the cache controller.
+func FireflyTransitionTable() []TransitionRecord {
+	p := Firefly{}
+	recs := []TransitionRecord{
+		{Invalid, p.AfterFill(false, false), "P read miss (¬MShared)"},
+		{Invalid, p.AfterFill(false, true), "P read miss (MShared)"},
+		{Invalid, p.AfterDirectWriteMiss(false), "P write miss (¬MShared)"},
+		{Invalid, p.AfterDirectWriteMiss(true), "P write miss (MShared)"},
+		{Exclusive, p.AfterWriteHit(Exclusive, false, false), "P write hit"},
+		{Dirty, p.AfterWriteHit(Dirty, false, false), "P write hit"},
+		{Shared, p.AfterWriteHit(Shared, true, true), "P write hit, write-through (MShared)"},
+		{Shared, p.AfterWriteHit(Shared, true, false), "P write hit, write-through (¬MShared)"},
+	}
+	for _, s := range []State{Exclusive, Dirty, Shared} {
+		recs = append(recs,
+			TransitionRecord{s, p.Snoop(s, mbus.MRead).Next, "M read"},
+			TransitionRecord{s, p.Snoop(s, mbus.MWrite).Next, "M write (update)"},
+		)
+	}
+	return recs
+}

@@ -1,0 +1,318 @@
+package display
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapBasics(t *testing.T) {
+	b := NewBitmap(100, 50)
+	if b.Width() != 100 || b.Height() != 50 || b.Stride() != 4 {
+		t.Fatalf("geometry wrong: %dx%d stride %d", b.Width(), b.Height(), b.Stride())
+	}
+	b.Set(0, 0, 1)
+	b.Set(99, 49, 1)
+	b.Set(31, 0, 1)
+	b.Set(32, 0, 1)
+	for _, p := range [][2]int{{0, 0}, {99, 49}, {31, 0}, {32, 0}} {
+		if b.Get(p[0], p[1]) != 1 {
+			t.Fatalf("pixel (%d,%d) not set", p[0], p[1])
+		}
+	}
+	if b.PopCount() != 4 {
+		t.Fatalf("popcount = %d", b.PopCount())
+	}
+	// MSB-first: pixel 0 is the top bit of word 0.
+	if b.Words()[0]>>31 != 1 {
+		t.Fatal("pixel 0 not in MSB")
+	}
+	b.Set(0, 0, 0)
+	if b.Get(0, 0) != 0 {
+		t.Fatal("clear failed")
+	}
+	// Out-of-bounds access is safe.
+	b.Set(-1, 0, 1)
+	b.Set(0, 1000, 1)
+	if b.Get(-1, 0) != 0 || b.Get(200, 0) != 0 {
+		t.Fatal("out-of-bounds get nonzero")
+	}
+	b.Clear()
+	if b.PopCount() != 0 {
+		t.Fatal("Clear left pixels")
+	}
+}
+
+func TestNewBitmapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size bitmap accepted")
+		}
+	}()
+	NewBitmap(0, 10)
+}
+
+func TestRasterOpTruthTables(t *testing.T) {
+	cases := []struct {
+		op   RasterOp
+		f    func(s, d int) int
+		name string
+	}{
+		{OpClear, func(s, d int) int { return 0 }, "clear"},
+		{OpSet, func(s, d int) int { return 1 }, "set"},
+		{OpSrc, func(s, d int) int { return s }, "src"},
+		{OpDst, func(s, d int) int { return d }, "dst"},
+		{OpAnd, func(s, d int) int { return s & d }, "and"},
+		{OpOr, func(s, d int) int { return s | d }, "or"},
+		{OpXor, func(s, d int) int { return s ^ d }, "xor"},
+		{OpNotSrc, func(s, d int) int { return 1 - s }, "notsrc"},
+		{OpInvert, func(s, d int) int { return 1 - d }, "invert"},
+		{OpSrcAndNot, func(s, d int) int { return s &^ d }, "srcandnot"},
+		{OpNotSrcAnd, func(s, d int) int { return (1 - s) & d }, "erase"},
+	}
+	for _, c := range cases {
+		for s := 0; s <= 1; s++ {
+			for d := 0; d <= 1; d++ {
+				if got := c.op.Apply(s, d); got != c.f(s, d) {
+					t.Errorf("%s(%d,%d) = %d, want %d", c.name, s, d, got, c.f(s, d))
+				}
+			}
+		}
+	}
+}
+
+func TestDependsOnSrc(t *testing.T) {
+	for op := RasterOp(0); op < 16; op++ {
+		varies := false
+		for d := 0; d <= 1; d++ {
+			if op.Apply(0, d) != op.Apply(1, d) {
+				varies = true
+			}
+		}
+		if op.DependsOnSrc() != varies {
+			t.Errorf("DependsOnSrc(%#x) = %v, want %v", uint8(op), op.DependsOnSrc(), varies)
+		}
+	}
+}
+
+func TestBitBltCopy(t *testing.T) {
+	src := NewBitmap(64, 64)
+	for i := 0; i < 64; i++ {
+		src.Set(i, i, 1)
+	}
+	dst := NewBitmap(64, 64)
+	n := BitBlt(dst, Rect{X: 10, Y: 20, W: 16, H: 16}, src, 0, 0, OpSrc)
+	if n != 256 {
+		t.Fatalf("painted %d pixels", n)
+	}
+	for i := 0; i < 16; i++ {
+		if dst.Get(10+i, 20+i) != 1 {
+			t.Fatalf("diagonal pixel %d missing", i)
+		}
+	}
+	if dst.PopCount() != 16 {
+		t.Fatalf("popcount = %d", dst.PopCount())
+	}
+}
+
+func TestBitBltClipping(t *testing.T) {
+	src := NewBitmap(8, 8)
+	Fill(src, Rect{0, 0, 8, 8}, OpSet)
+	dst := NewBitmap(16, 16)
+	// Destination rectangle hangs off every edge.
+	n := BitBlt(dst, Rect{X: -4, Y: -4, W: 8, H: 8}, src, 0, 0, OpSrc)
+	if n != 16 {
+		t.Fatalf("clipped blit painted %d, want 16", n)
+	}
+	if dst.Get(0, 0) != 1 || dst.Get(3, 3) != 1 || dst.Get(4, 4) != 0 {
+		t.Fatal("clip landed wrong")
+	}
+	// Fully outside: zero pixels.
+	if n := BitBlt(dst, Rect{X: 100, Y: 100, W: 8, H: 8}, src, 0, 0, OpSrc); n != 0 {
+		t.Fatalf("off-screen blit painted %d", n)
+	}
+	// Source clipping limits the painted area too.
+	dst.Clear()
+	if n := BitBlt(dst, Rect{X: 0, Y: 0, W: 8, H: 8}, src, 6, 6, OpSrc); n != 4 {
+		t.Fatalf("source-clipped blit painted %d, want 4", n)
+	}
+}
+
+func TestBitBltOverlap(t *testing.T) {
+	// Scrolling: shift a pattern down-right within the same bitmap.
+	b := NewBitmap(32, 32)
+	for i := 0; i < 8; i++ {
+		b.Set(i, 0, 1)
+	}
+	BitBlt(b, Rect{X: 4, Y: 0, W: 8, H: 1}, b, 0, 0, OpSrc)
+	for i := 4; i < 12; i++ {
+		want := 1
+		if i-4 >= 8 {
+			want = 0
+		}
+		if b.Get(i, 0) != want {
+			t.Fatalf("overlap copy wrong at %d", i)
+		}
+	}
+}
+
+func TestBitBltNilSourcePanics(t *testing.T) {
+	dst := NewBitmap(8, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("source-dependent op with nil src accepted")
+		}
+	}()
+	BitBlt(dst, Rect{0, 0, 4, 4}, nil, 0, 0, OpSrc)
+}
+
+func TestFillOps(t *testing.T) {
+	b := NewBitmap(16, 16)
+	Fill(b, Rect{0, 0, 16, 16}, OpSet)
+	if b.PopCount() != 256 {
+		t.Fatal("set fill incomplete")
+	}
+	Fill(b, Rect{0, 0, 8, 16}, OpClear)
+	if b.PopCount() != 128 {
+		t.Fatal("clear fill wrong")
+	}
+	Fill(b, Rect{0, 0, 16, 16}, OpInvert)
+	if b.PopCount() != 128 {
+		t.Fatal("invert wrong")
+	}
+	if b.Get(0, 0) != 1 || b.Get(15, 0) != 0 {
+		t.Fatal("invert landed wrong")
+	}
+}
+
+// TestBitBltAgainstReference checks BitBlt against an independent
+// pixel-by-pixel reference for random rectangles and ops.
+func TestBitBltAgainstReference(t *testing.T) {
+	f := func(seed int64, opRaw uint8, dx, dy, sx, sy int8, w, h uint8) bool {
+		op := RasterOp(opRaw % 16)
+		src := NewBitmap(40, 40)
+		dst := NewBitmap(40, 40)
+		// Deterministic pseudo-random content.
+		x := uint64(seed)
+		next := func() uint64 { x = x*6364136223846793005 + 1442695040888963407; return x }
+		for yy := 0; yy < 40; yy++ {
+			for xx := 0; xx < 40; xx++ {
+				src.Set(xx, yy, int(next()>>63))
+				dst.Set(xx, yy, int(next()>>63))
+			}
+		}
+		// Reference copy.
+		ref := NewBitmap(40, 40)
+		for yy := 0; yy < 40; yy++ {
+			for xx := 0; xx < 40; xx++ {
+				ref.Set(xx, yy, dst.Get(xx, yy))
+			}
+		}
+		r := Rect{X: int(dx) % 40, Y: int(dy) % 40, W: int(w) % 48, H: int(h) % 48}
+		sxi, syi := int(sx)%40, int(sy)%40
+		BitBlt(dst, r, src, sxi, syi, op)
+		// Reference: pixel loop with explicit bounds checks.
+		for yy := 0; yy < r.H; yy++ {
+			for xx := 0; xx < r.W; xx++ {
+				dX, dY := r.X+xx, r.Y+yy
+				sX, sY := sxi+xx, syi+yy
+				if !ref.InBounds(dX, dY) {
+					continue
+				}
+				if op.DependsOnSrc() && !src.InBounds(sX, sY) {
+					continue
+				}
+				ref.Set(dX, dY, op.Apply(src.Get(sX, sY), ref.Get(dX, dY)))
+			}
+		}
+		for yy := 0; yy < 40; yy++ {
+			for xx := 0; xx < 40; xx++ {
+				if ref.Get(xx, yy) != dst.Get(xx, yy) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticFont(t *testing.T) {
+	f := SyntheticFont(12, 8)
+	if f.Height != 12 || f.NumGlyphs() != 95 {
+		t.Fatalf("font shape: h=%d glyphs=%d", f.Height, f.NumGlyphs())
+	}
+	ga, _ := f.Glyph('A')
+	gb, _ := f.Glyph('B')
+	same := true
+	for y := 0; y < 12 && same; y++ {
+		for x := 0; x < 8; x++ {
+			if ga.Bitmap.Get(x, y) != gb.Bitmap.Get(x, y) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("glyphs A and B identical")
+	}
+	if sp, _ := f.Glyph(' '); sp.Bitmap.PopCount() != 0 {
+		t.Fatal("space glyph not blank")
+	}
+	if f.StringWidth("AB") != 16 {
+		t.Fatalf("string width = %d", f.StringWidth("AB"))
+	}
+}
+
+func TestPaintString(t *testing.T) {
+	f := SyntheticFont(12, 8)
+	b := NewBitmap(200, 20)
+	adv := PaintString(b, f, "Hello", 5, 2, OpSrc)
+	if adv != 40 {
+		t.Fatalf("advance = %d", adv)
+	}
+	if b.PopCount() == 0 {
+		t.Fatal("nothing painted")
+	}
+	// Painting the same string twice with OpSrc is idempotent.
+	before := b.PopCount()
+	PaintString(b, f, "Hello", 5, 2, OpSrc)
+	if b.PopCount() != before {
+		t.Fatal("OpSrc repaint changed pixels")
+	}
+	// XOR-ing it a second time erases it.
+	b2 := NewBitmap(200, 20)
+	PaintString(b2, f, "Hi", 0, 0, OpXor)
+	PaintString(b2, f, "Hi", 0, 0, OpXor)
+	if b2.PopCount() != 0 {
+		t.Fatal("double XOR did not erase")
+	}
+}
+
+func TestFontValidation(t *testing.T) {
+	f := NewFont("t", 8)
+	for _, g := range []Glyph{
+		{Width: 0, Bitmap: NewBitmap(4, 8)},
+		{Width: 4, Bitmap: NewBitmap(4, 9)},
+		{Width: 9, Bitmap: NewBitmap(4, 8)},
+		{Width: 4, Bitmap: nil},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad glyph %+v accepted", g)
+				}
+			}()
+			f.AddGlyph('x', g)
+		}()
+	}
+	// Unknown rune paints nothing but advances.
+	b := NewBitmap(32, 8)
+	if adv := PaintChar(b, f, 'z', 0, 0, OpOr); adv != 4 {
+		t.Fatalf("missing-glyph advance = %d", adv)
+	}
+	if b.PopCount() != 0 {
+		t.Fatal("missing glyph painted pixels")
+	}
+}

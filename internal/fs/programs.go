@@ -1,0 +1,145 @@
+package fs
+
+import "firefly/internal/topaz"
+
+// ReadResult collects a client read run.
+type ReadResult struct {
+	Blocks [][]uint32
+	Done   bool
+}
+
+// ReadSequentialProgram returns a client program reading count blocks
+// starting at lba, computing computePerBlock instructions on each — the
+// pattern (file scan plus per-record work) that read-ahead exists for.
+func ReadSequentialProgram(f *FS, start, count uint32, computePerBlock uint64, res *ReadResult) topaz.Program {
+	i := uint32(0)
+	state := 0
+	var got []uint32
+	return topaz.ProgramFunc(func(*topaz.Thread) topaz.Action {
+		for {
+			switch state {
+			case 0:
+				if i >= count {
+					res.Done = true
+					return topaz.Exit{}
+				}
+				state = 1
+				return topaz.Lock{M: f.Mu}
+			case 1:
+				lba := start + i
+				var hit bool
+				got, hit = f.TryRead(lba)
+				if hit {
+					state = 3
+					continue
+				}
+				f.RequestFetch(lba)
+				state = 2
+				return topaz.Wait{CV: f.CvData, M: f.Mu}
+			case 2:
+				// Woken: re-check under the still-held mutex.
+				state = 1
+				continue
+			case 3:
+				res.Blocks = append(res.Blocks, got)
+				i++
+				state = 4
+				return topaz.Unlock{M: f.Mu}
+			case 4:
+				state = 0
+				if computePerBlock == 0 {
+					continue
+				}
+				return topaz.Compute{Instructions: computePerBlock}
+			}
+		}
+	})
+}
+
+// WriteResult reports a client write run.
+type WriteResult struct {
+	Done bool
+}
+
+// WriteSequentialProgram writes count generated blocks starting at lba.
+// With the cache's write-behind, each write returns as soon as the block
+// is buffered; with Config.WriteThrough the client waits for the flush —
+// the ablation that shows what the write buffer is worth.
+func WriteSequentialProgram(f *FS, start, count uint32, computePerBlock uint64, res *WriteResult) topaz.Program {
+	i := uint32(0)
+	state := 0
+	mk := func(lba uint32) []uint32 {
+		data := make([]uint32, BlockWords)
+		for w := range data {
+			data[w] = lba*1000 + uint32(w)
+		}
+		return data
+	}
+	return topaz.ProgramFunc(func(*topaz.Thread) topaz.Action {
+		for {
+			switch state {
+			case 0:
+				if i >= count {
+					res.Done = true
+					return topaz.Exit{}
+				}
+				state = 1
+				return topaz.Lock{M: f.Mu}
+			case 1:
+				f.Write(start+i, mk(start+i))
+				if f.cfg.WriteThrough {
+					state = 2
+					continue
+				}
+				state = 3
+				continue
+			case 2:
+				// Write-through: hold until this block is clean.
+				if b, ok := f.cache[start+i]; ok && b.dirty {
+					return topaz.Wait{CV: f.CvData, M: f.Mu}
+				}
+				state = 3
+				continue
+			case 3:
+				i++
+				state = 4
+				return topaz.Unlock{M: f.Mu}
+			case 4:
+				state = 0
+				if computePerBlock == 0 {
+					continue
+				}
+				return topaz.Compute{Instructions: computePerBlock}
+			}
+		}
+	})
+}
+
+// SyncProgram blocks until every dirty block has been flushed, then runs
+// onDone and exits — fsync.
+func SyncProgram(f *FS, onDone func()) topaz.Program {
+	state := 0
+	return topaz.ProgramFunc(func(*topaz.Thread) topaz.Action {
+		for {
+			switch state {
+			case 0:
+				state = 1
+				return topaz.Lock{M: f.Mu}
+			case 1:
+				if f.DirtyBlocks() > 0 {
+					return topaz.Wait{CV: f.CvData, M: f.Mu}
+				}
+				state = 2
+				continue
+			case 2:
+				state = 3
+				return topaz.Unlock{M: f.Mu}
+			default:
+				if onDone != nil {
+					onDone()
+				}
+				return topaz.Exit{}
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+// Package machine assembles whole Firefly systems: N processors behind
+// snoopy caches, the MBus, the storage modules, and any attached I/O
+// engines (QBus DMA, display controller), and runs the cycle loop. It is
+// the measurement bench for the paper's Table 2 and the simulation
+// cross-check of Table 1.
+package machine
+
+import (
+	"fmt"
+
+	"firefly/internal/core"
+	"firefly/internal/cpu"
+	"firefly/internal/mbus"
+	"firefly/internal/memory"
+	"firefly/internal/sim"
+	"firefly/internal/trace"
+)
+
+// Config describes a Firefly system.
+type Config struct {
+	// Processors is the CPU count. The hardware shipped with one to seven
+	// (one primary I/O processor plus up to three dual-CPU boards); the
+	// simulator allows more for saturation studies.
+	Processors int
+	// Variant selects the processor implementation.
+	Variant cpu.Variant
+	// Protocol is the cache coherence protocol (core.Firefly{} unless
+	// running a baseline comparison).
+	Protocol core.Protocol
+	// CacheLines overrides the per-variant cache geometry (0 = default:
+	// 4096 lines for the MicroVAX, 16384 for the CVAX).
+	CacheLines int
+	// LineWords sets the cache line size in longwords (0 = the hardware's
+	// 1). Larger lines fill and write back with multiple sequential MBus
+	// operations — the design the paper's footnote weighed and rejected.
+	LineWords int
+	// MemoryModules and ModuleBytes configure storage (0 = defaults:
+	// 4 x 4 MB for the MicroVAX, 4 x 32 MB for the CVAX).
+	MemoryModules int
+	ModuleBytes   uint32
+	// Arbitration selects the bus policy (hardware: FixedPriority).
+	Arbitration mbus.Arbitration
+	// Seed drives every random stream in the machine.
+	Seed uint64
+}
+
+// MicroVAXConfig returns the original Firefly with n processors.
+func MicroVAXConfig(n int) Config {
+	return Config{
+		Processors: n,
+		Variant:    cpu.MicroVAX78032(),
+		Protocol:   core.Firefly{},
+		Seed:       1,
+	}
+}
+
+// CVAXConfig returns the second-version Firefly with n processors.
+func CVAXConfig(n int) Config {
+	return Config{
+		Processors:    n,
+		Variant:       cpu.CVAX78034(),
+		Protocol:      core.Firefly{},
+		CacheLines:    core.CVAXLines,
+		MemoryModules: 4,
+		ModuleBytes:   memory.CVAXModuleBytes,
+		Seed:          1,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Protocol == nil {
+		out.Protocol = core.Firefly{}
+	}
+	if out.CacheLines == 0 {
+		if out.Variant.TickCycles == 1 {
+			out.CacheLines = core.CVAXLines
+		} else {
+			out.CacheLines = core.MicroVAXLines
+		}
+	}
+	if out.MemoryModules == 0 {
+		out.MemoryModules = 4
+	}
+	if out.ModuleBytes == 0 {
+		out.ModuleBytes = memory.MicroVAXModuleBytes
+	}
+	if out.LineWords == 0 {
+		out.LineWords = 1
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Processors < 1 {
+		return fmt.Errorf("machine: need at least one processor, got %d", c.Processors)
+	}
+	if c.Processors > 64 {
+		return fmt.Errorf("machine: %d processors is beyond any plausible MBus", c.Processors)
+	}
+	return c.Variant.Validate()
+}
+
+// Stepper is a device stepped once per bus cycle (DMA engines, the display
+// controller's microengine).
+type Stepper interface {
+	Step()
+}
+
+// Machine is an assembled Firefly system.
+type Machine struct {
+	cfg     Config
+	clock   *sim.Clock
+	bus     *mbus.Bus
+	mem     *memory.System
+	cpus    []*cpu.Processor
+	caches  []*core.Cache
+	devices []Stepper
+}
+
+// New builds a machine. Reference sources start nil; attach them with
+// AttachSources (or install a Topaz kernel) before running.
+func New(cfg Config) *Machine {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Machine{cfg: cfg, clock: &sim.Clock{}}
+	m.bus = mbus.New(m.clock, cfg.Arbitration)
+	m.mem = memory.NewSystem(cfg.MemoryModules, cfg.ModuleBytes)
+	m.bus.AttachMemory(m.mem)
+	for i := 0; i < cfg.Processors; i++ {
+		cache := core.NewCacheGeometry(m.clock, cfg.Protocol, cfg.CacheLines, cfg.LineWords)
+		p := cpu.New(i, m.clock, cfg.Variant, cache, nil, cfg.Seed+uint64(i)*7919)
+		port := m.bus.Attach(cache, cache, p)
+		if port != i {
+			panic("machine: processor port mismatch")
+		}
+		m.caches = append(m.caches, cache)
+		m.cpus = append(m.cpus, p)
+	}
+	return m
+}
+
+// Config returns the machine's (defaulted) configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Clock returns the machine clock.
+func (m *Machine) Clock() *sim.Clock { return m.clock }
+
+// Bus returns the MBus, for attaching I/O engines.
+func (m *Machine) Bus() *mbus.Bus { return m.bus }
+
+// Memory returns the storage system.
+func (m *Machine) Memory() *memory.System { return m.mem }
+
+// Processors returns the CPUs.
+func (m *Machine) Processors() []*cpu.Processor { return m.cpus }
+
+// CPU returns processor i.
+func (m *Machine) CPU(i int) *cpu.Processor { return m.cpus[i] }
+
+// Cache returns processor i's cache.
+func (m *Machine) Cache(i int) *core.Cache { return m.caches[i] }
+
+// AddDevice registers a device for per-cycle stepping. The device is
+// responsible for attaching itself to the bus.
+func (m *Machine) AddDevice(d Stepper) { m.devices = append(m.devices, d) }
+
+// AttachSources installs a reference source per processor.
+func (m *Machine) AttachSources(mk func(i int, c *core.Cache) trace.Source) {
+	for i, p := range m.cpus {
+		p.SetSource(mk(i, m.caches[i]))
+	}
+}
+
+// AttachSyntheticSources installs the parameterized generator on every
+// processor: the machine-level analogue of the paper's trace
+// characterization (M, S as given; D emerges from the write mix).
+func (m *Machine) AttachSyntheticSources(missRate, shareFraction, sharedReadFraction float64) {
+	shared := trace.NewSharedRegion(0x8000, 64)
+	privateBytes := uint32(1 << 19) // 512 KB per CPU: far larger than the cache
+	m.AttachSources(func(i int, c *core.Cache) trace.Source {
+		return trace.NewSynthetic(trace.SyntheticConfig{
+			MissRate:           missRate,
+			ShareFraction:      shareFraction,
+			SharedReadFraction: sharedReadFraction,
+			PrivateBase:        mbus.Addr(0x100000 + uint32(i)*privateBytes),
+			PrivateBytes:       privateBytes,
+			Seed:               m.cfg.Seed*31 + uint64(i),
+		}, shared, c)
+	})
+}
+
+// Step advances the machine one bus cycle: bus, then caches (deferred
+// work), then devices, then processors. Processor requests raised in this
+// cycle reach arbitration on the next, matching the hardware's
+// request/grant timing.
+func (m *Machine) Step() {
+	m.clock.Tick()
+	m.bus.Step()
+	for _, c := range m.caches {
+		c.Step()
+	}
+	for _, d := range m.devices {
+		d.Step()
+	}
+	for _, p := range m.cpus {
+		p.Step()
+	}
+}
+
+// Run advances the machine by n cycles.
+func (m *Machine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		m.Step()
+	}
+}
+
+// RunSeconds advances the machine by the given simulated time.
+func (m *Machine) RunSeconds(s float64) {
+	m.Run(uint64(s * 1e9 / sim.CycleNS))
+}
+
+// Warmup runs the machine for n cycles and then clears every statistic,
+// so measurements exclude cold-start transients (the paper's Table 2
+// one-CPU column is visibly distorted by exactly such effects).
+func (m *Machine) Warmup(n uint64) {
+	m.Run(n)
+	m.ResetStats()
+}
+
+// ResetStats clears all counters (cache contents are preserved).
+func (m *Machine) ResetStats() {
+	m.bus.ResetStats()
+	for _, c := range m.caches {
+		c.ResetStats()
+	}
+	for _, p := range m.cpus {
+		p.ResetStats()
+	}
+}

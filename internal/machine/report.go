@@ -1,0 +1,145 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"firefly/internal/mbus"
+)
+
+// CPUReport summarizes one processor's activity over a measurement
+// interval, in the categories of the paper's Table 2.
+type CPUReport struct {
+	Instructions uint64
+	TPI          float64
+	// Reads, Writes, Total are CPU reference rates in refs/sec.
+	Reads, Writes, Total float64
+	MissRate             float64
+	DirtyFraction        float64
+	// MBus reference rates (refs/sec): reads (fills), writes that received
+	// MShared, writes that did not, and victim writes.
+	MBusReads        float64
+	MBusWritesShared float64
+	MBusWritesClean  float64
+	MBusVictims      float64
+	ProbeStalls      uint64
+}
+
+// Report summarizes a measurement interval for the whole machine.
+type Report struct {
+	Processors int
+	Seconds    float64
+	BusLoad    float64
+	// MBusTotal is the total MBus operation rate (ops/sec).
+	MBusTotal float64
+	PerCPU    []CPUReport
+}
+
+// Report computes rates over the interval since the last ResetStats (or
+// machine construction).
+func (m *Machine) Report() Report {
+	busStats := m.bus.Stats()
+	secs := float64(busStats.Cycles) * 100e-9
+	r := Report{
+		Processors: len(m.cpus),
+		Seconds:    secs,
+		BusLoad:    busStats.Load(),
+	}
+	if secs == 0 {
+		return r
+	}
+	r.MBusTotal = float64(busStats.TotalOps()) / secs
+	for i, p := range m.cpus {
+		pst := p.Stats()
+		cst := m.caches[i].Stats()
+		cr := CPUReport{
+			Instructions:     pst.Instructions,
+			TPI:              pst.TPI(),
+			Reads:            float64(pst.Reads) / secs,
+			Writes:           float64(pst.Writes) / secs,
+			Total:            float64(pst.Refs()) / secs,
+			MissRate:         cst.MissRate(),
+			DirtyFraction:    m.caches[i].DirtyFraction(),
+			MBusReads:        float64(cst.FillOps) / secs,
+			MBusWritesShared: float64(cst.WriteThroughShared) / secs,
+			MBusWritesClean:  float64(cst.WriteThroughClean) / secs,
+			MBusVictims:      float64(cst.VictimWrites) / secs,
+			ProbeStalls:      pst.ProbeStalls,
+		}
+		r.PerCPU = append(r.PerCPU, cr)
+	}
+	return r
+}
+
+// MeanCPU averages the per-CPU rows.
+func (r Report) MeanCPU() CPUReport {
+	var out CPUReport
+	n := float64(len(r.PerCPU))
+	if n == 0 {
+		return out
+	}
+	for _, c := range r.PerCPU {
+		out.Instructions += c.Instructions
+		out.TPI += c.TPI
+		out.Reads += c.Reads
+		out.Writes += c.Writes
+		out.Total += c.Total
+		out.MissRate += c.MissRate
+		out.DirtyFraction += c.DirtyFraction
+		out.MBusReads += c.MBusReads
+		out.MBusWritesShared += c.MBusWritesShared
+		out.MBusWritesClean += c.MBusWritesClean
+		out.MBusVictims += c.MBusVictims
+		out.ProbeStalls += c.ProbeStalls
+	}
+	out.TPI /= n
+	out.Reads /= n
+	out.Writes /= n
+	out.Total /= n
+	out.MissRate /= n
+	out.DirtyFraction /= n
+	out.MBusReads /= n
+	out.MBusWritesShared /= n
+	out.MBusWritesClean /= n
+	out.MBusVictims /= n
+	return out
+}
+
+// TotalRefsPerSec returns the machine-wide CPU reference rate.
+func (r Report) TotalRefsPerSec() float64 {
+	var t float64
+	for _, c := range r.PerCPU {
+		t += c.Total
+	}
+	return t
+}
+
+// MeanTPI returns the average achieved TPI across processors.
+func (r Report) MeanTPI() float64 { return r.MeanCPU().TPI }
+
+// String renders a human-readable machine report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-CPU system, %.3f simulated seconds, bus load L=%.2f\n",
+		r.Processors, r.Seconds, r.BusLoad)
+	mean := r.MeanCPU()
+	fmt.Fprintf(&b, "Per CPU (K refs/sec): reads %.0f, writes %.0f, total %.0f (TPI %.1f, miss rate %.2f)\n",
+		mean.Reads/1000, mean.Writes/1000, mean.Total/1000, mean.TPI, mean.MissRate)
+	fmt.Fprintf(&b, "MBus per CPU (K refs/sec): reads %.0f, writes MShared %.0f, writes clean %.0f, victims %.0f\n",
+		mean.MBusReads/1000, mean.MBusWritesShared/1000, mean.MBusWritesClean/1000, mean.MBusVictims/1000)
+	fmt.Fprintf(&b, "MBus total: %.0f K ops/sec\n", r.MBusTotal/1000)
+	return b.String()
+}
+
+// BusOpsByKind returns the machine's completed bus operations by kind,
+// for traffic-mix assertions in tests and the protocol comparison.
+func (m *Machine) BusOpsByKind() map[mbus.OpKind]uint64 {
+	st := m.bus.Stats()
+	out := make(map[mbus.OpKind]uint64)
+	for k, n := range st.Ops {
+		if n > 0 {
+			out[mbus.OpKind(k)] = n
+		}
+	}
+	return out
+}

@@ -1,0 +1,536 @@
+// Package mbus simulates the Firefly MBus: the dedicated memory bus over
+// which per-processor caches and the storage modules communicate.
+//
+// The hardware MBus (paper §5, Figure 4) runs at 10 MHz and supports one
+// four-byte transfer every 400 ns — four 100 ns cycles per operation:
+//
+//	cycle 1: arbitration; the winner places the address and operation
+//	cycle 2: write data (MWrite); all other caches probe their tag stores
+//	cycle 3: caches holding the line assert the wired-OR MShared signal
+//	cycle 4: read data, supplied by the holding caches (memory inhibited)
+//	         when MShared was asserted, by the storage modules otherwise
+//
+// The real bus has exactly two operations, MRead and MWrite. The simulated
+// bus additionally carries MReadOwn, MUpdate, and MInv so that the
+// invalidation- and ownership-based baseline protocols from the Archibald &
+// Baer survey (which the paper contrasts the Firefly protocol against) can
+// be evaluated over identical bus timing. Every operation, including the
+// address-only MInv, occupies the full four cycles; this matches the
+// fixed-length MBus transaction framing and keeps protocol comparisons on
+// equal footing.
+package mbus
+
+import (
+	"fmt"
+
+	"firefly/internal/sim"
+)
+
+// Addr is a physical byte address. The original Firefly had a 24-bit
+// physical address space (16 MB); the CVAX version extends it to 27 bits
+// (128 MB). Alignment to the 4-byte line is enforced by Line.
+type Addr uint32
+
+// Line returns the address of the 4-byte cache line containing a.
+func (a Addr) Line() Addr { return a &^ 3 }
+
+// String formats the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("%#07x", uint32(a)) }
+
+// OpKind identifies a bus operation.
+type OpKind uint8
+
+const (
+	// MRead fetches one 4-byte word. Other caches holding the word assert
+	// MShared and supply the data in place of memory.
+	MRead OpKind = iota
+	// MWrite sends one 4-byte word to main memory. Other caches holding
+	// the word take the data (update) and assert MShared. Used for victim
+	// write-back and for the Firefly protocol's conditional write-through.
+	MWrite
+	// MReadOwn is a read with intent to modify: holders invalidate rather
+	// than keep an updated copy. Not a real MBus operation; used by the
+	// invalidation baselines (Berkeley, MESI).
+	MReadOwn
+	// MUpdate is a cache-to-cache update that does NOT write main memory,
+	// as in the Xerox Dragon protocol. Not a real MBus operation.
+	MUpdate
+	// MInv is an address-only invalidation broadcast. Not a real MBus
+	// operation; used by write-hit invalidations in the baselines.
+	MInv
+
+	numOpKinds = 5
+)
+
+// String returns the operation mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case MRead:
+		return "MRead"
+	case MWrite:
+		return "MWrite"
+	case MReadOwn:
+		return "MReadOwn"
+	case MUpdate:
+		return "MUpdate"
+	case MInv:
+		return "MInv"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// IsRead reports whether the operation returns data to the initiator.
+func (k OpKind) IsRead() bool { return k == MRead || k == MReadOwn }
+
+// CarriesData reports whether the initiator drives data in cycle 2.
+func (k OpKind) CarriesData() bool { return k == MWrite || k == MUpdate }
+
+// WritesMemory reports whether the storage modules absorb the data.
+func (k OpKind) WritesMemory() bool { return k == MWrite }
+
+// OpCycles is the length of every MBus operation in bus cycles.
+const OpCycles = 4
+
+// Request is a bus operation an initiator wants performed.
+type Request struct {
+	Op   OpKind
+	Addr Addr
+	Data uint32 // valid when Op.CarriesData()
+}
+
+// Result is delivered to the initiator on the final cycle of its operation.
+type Result struct {
+	Op            OpKind
+	Addr          Addr
+	Data          uint32 // read data for IsRead ops
+	Shared        bool   // MShared was asserted during cycle 3
+	CacheSupplied bool   // a cache, not memory, supplied the read data
+	Done          sim.Cycle
+}
+
+// Initiator is an agent that can request bus operations (a cache, or the
+// DMA path of the I/O system).
+type Initiator interface {
+	// BusRequest reports the operation the agent wants, if any. It is
+	// polled during arbitration cycles; the agent must keep returning the
+	// same request until granted.
+	BusRequest() (Request, bool)
+	// BusGrant tells the agent its request has won arbitration.
+	BusGrant()
+	// BusComplete delivers the result on the operation's final cycle.
+	BusComplete(Result)
+}
+
+// SnoopVerdict is a snooper's response to an address probe.
+type SnoopVerdict struct {
+	// HasLine reports whether the snooper holds the addressed line; it
+	// drives the MShared signal.
+	HasLine bool
+	// Supply indicates the snooper will place read data on the bus during
+	// cycle 4 (memory inhibited).
+	Supply bool
+	// Data is the supplied word (valid when Supply).
+	Data uint32
+	// MemWrite asks the storage modules to absorb the supplied data as it
+	// passes on the bus ("reflection"). The Firefly and Berkeley protocols
+	// never set it; MESI-style baselines use it when a modified line is
+	// flushed in response to a snooped read.
+	MemWrite bool
+	// Flush writes additional words to memory when the operation
+	// completes. A cache with multi-word lines uses it when a snoop
+	// transitions a dirty line to a clean (or invalid) state: the whole
+	// line's contents must reach memory, not just the snooped word. The
+	// flush is not charged bus cycles — a modeling simplification for the
+	// line-size ablation, documented in DESIGN.md.
+	Flush []WordFlush
+}
+
+// WordFlush is one word written to memory as a side effect of a snoop.
+type WordFlush struct {
+	Addr Addr
+	Data uint32
+}
+
+// Snooper watches the bus and participates in coherence. Every cache is a
+// snooper; the probe in cycle 2 occupies the snooper's tag store for that
+// cycle, which is the source of the paper's "tag store probes by other
+// caches" (SP) slowdown term.
+type Snooper interface {
+	// SnoopProbe is called in cycle 2 of every operation initiated by
+	// another agent.
+	SnoopProbe(op OpKind, addr Addr, data uint32) SnoopVerdict
+	// SnoopCommit is called in cycle 3 with the resolved MShared value so
+	// the snooper can apply its protocol's state change (take update data,
+	// invalidate, change ownership).
+	SnoopCommit(op OpKind, addr Addr, data uint32, shared bool)
+}
+
+// Memory is the storage module array on the bus.
+type Memory interface {
+	// ReadWord returns the word at addr; ok is false for unpopulated
+	// addresses.
+	ReadWord(addr Addr) (data uint32, ok bool)
+	// WriteWord stores the word at addr; ok is false for unpopulated
+	// addresses.
+	WriteWord(addr Addr, data uint32) (ok bool)
+}
+
+// InterruptSink receives MBus interprocessor interrupts.
+type InterruptSink interface {
+	Interrupt(from int)
+}
+
+// Arbitration selects the bus arbitration policy.
+type Arbitration uint8
+
+const (
+	// FixedPriority grants the requester with the lowest port number, as
+	// in the hardware ("the caches have fixed priority for access to the
+	// MBus", §5.2).
+	FixedPriority Arbitration = iota
+	// RoundRobin rotates priority; provided for fairness ablations.
+	RoundRobin
+)
+
+type port struct {
+	initiator Initiator
+	snooper   Snooper
+	sink      InterruptSink
+}
+
+// Stats aggregates bus activity for load and traffic reporting.
+type Stats struct {
+	Ops        [numOpKinds]uint64 // completed operations by kind
+	BusyCycles uint64             // cycles occupied by operations
+	Cycles     uint64             // total cycles stepped
+	SharedHits uint64             // ops during which MShared was asserted
+	WaitCycles uint64             // requester-cycles spent waiting for grant
+	PerPort    []uint64           // completed operations per initiating port
+}
+
+// TotalOps returns the number of completed operations.
+func (s Stats) TotalOps() uint64 {
+	var t uint64
+	for _, n := range s.Ops {
+		t += n
+	}
+	return t
+}
+
+// Load returns the fraction of bus cycles that were non-idle — the paper's
+// bus load L.
+func (s Stats) Load() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Cycles)
+}
+
+// TraceEntry records one cycle of bus activity for the Figure 4 harness.
+type TraceEntry struct {
+	Cycle  sim.Cycle
+	Phase  int // 1..4, or 0 for idle
+	Op     OpKind
+	Addr   Addr
+	Port   int
+	Shared bool
+	Note   string
+}
+
+// Bus is the MBus. It is stepped once per 100 ns cycle by the machine's
+// run loop; it is not safe for concurrent use (the hardware wasn't either).
+type Bus struct {
+	clock *sim.Clock
+	arb   Arbitration
+	ports []port
+	mem   Memory
+
+	// in-flight operation
+	active   bool
+	phase    int // 1..4
+	op       OpKind
+	addr     Addr
+	data     uint32
+	portNum  int
+	verdicts []SnoopVerdict
+	shared   bool
+
+	rrNext int // round-robin scan start
+
+	stats Stats
+
+	trace   []TraceEntry
+	tracing bool
+}
+
+// New returns an empty bus on the given clock.
+func New(clock *sim.Clock, arb Arbitration) *Bus {
+	return &Bus{clock: clock, arb: arb}
+}
+
+// Clock returns the bus clock.
+func (b *Bus) Clock() *sim.Clock { return b.clock }
+
+// AttachMemory connects the storage module array.
+func (b *Bus) AttachMemory(m Memory) { b.mem = m }
+
+// Attach adds an agent to the bus and returns its port number. Lower port
+// numbers have higher fixed priority. Any of the three roles may be nil
+// for agents that lack it (memory-side DMA engines do not snoop, pure
+// snoopers never initiate).
+func (b *Bus) Attach(in Initiator, sn Snooper, sink InterruptSink) int {
+	b.ports = append(b.ports, port{initiator: in, snooper: sn, sink: sink})
+	b.stats.PerPort = append(b.stats.PerPort, 0)
+	return len(b.ports) - 1
+}
+
+// NumPorts reports the number of attached agents.
+func (b *Bus) NumPorts() int { return len(b.ports) }
+
+// Stats returns a snapshot of the accumulated bus statistics.
+func (b *Bus) Stats() Stats {
+	s := b.stats
+	s.PerPort = append([]uint64(nil), b.stats.PerPort...)
+	return s
+}
+
+// ResetStats clears the accumulated statistics (the clock is unaffected).
+func (b *Bus) ResetStats() {
+	per := b.stats.PerPort
+	for i := range per {
+		per[i] = 0
+	}
+	b.stats = Stats{PerPort: per}
+}
+
+// SetTracing enables or disables per-cycle trace capture.
+func (b *Bus) SetTracing(on bool) {
+	b.tracing = on
+	if !on {
+		b.trace = nil
+	}
+}
+
+// Trace returns the captured trace entries.
+func (b *Bus) Trace() []TraceEntry { return b.trace }
+
+// Busy reports whether an operation is in flight.
+func (b *Bus) Busy() bool { return b.active }
+
+// Interrupt delivers an MBus interprocessor interrupt to the agent on the
+// target port. Delivery is immediate; the hardware used dedicated bus
+// facilities that did not contend with data transfers.
+func (b *Bus) Interrupt(from, target int) {
+	if target < 0 || target >= len(b.ports) {
+		panic(fmt.Sprintf("mbus: interrupt to invalid port %d", target))
+	}
+	if sink := b.ports[target].sink; sink != nil {
+		sink.Interrupt(from)
+	}
+}
+
+// Step advances the bus by one cycle. The machine's run loop must call
+// Step exactly once per clock tick, after stepping the processors so that
+// requests raised this cycle are visible to arbitration.
+func (b *Bus) Step() {
+	b.stats.Cycles++
+	if !b.active {
+		b.arbitrate()
+		if !b.active {
+			b.traceCycle(0, "idle")
+			return
+		}
+		// Arbitration and address transmission share the first cycle.
+	}
+	b.stats.BusyCycles++
+	switch b.phase {
+	case 1:
+		b.traceCycle(1, "arbitrate+address")
+	case 2:
+		b.probeAll()
+		if b.op.CarriesData() {
+			b.traceCycle(2, "write data, tag probe")
+		} else {
+			b.traceCycle(2, "tag probe")
+		}
+	case 3:
+		b.resolveShared()
+		if b.shared {
+			b.traceCycle(3, "MShared asserted")
+		} else {
+			b.traceCycle(3, "MShared clear")
+		}
+	case 4:
+		b.complete()
+		b.traceCycle(4, "data")
+		b.active = false
+		return
+	}
+	b.phase++
+}
+
+func (b *Bus) arbitrate() {
+	n := len(b.ports)
+	if n == 0 {
+		return
+	}
+	start := 0
+	if b.arb == RoundRobin {
+		start = b.rrNext
+	}
+	granted := -1
+	for i := 0; i < n; i++ {
+		p := (start + i) % n
+		in := b.ports[p].initiator
+		if in == nil {
+			continue
+		}
+		req, ok := in.BusRequest()
+		if !ok {
+			continue
+		}
+		if granted < 0 {
+			granted = p
+			b.begin(p, req)
+		} else {
+			b.stats.WaitCycles++
+		}
+	}
+	if granted >= 0 && b.arb == RoundRobin {
+		b.rrNext = (granted + 1) % n
+	}
+}
+
+func (b *Bus) begin(port int, req Request) {
+	b.active = true
+	b.phase = 1
+	b.op = req.Op
+	b.addr = req.Addr.Line()
+	b.data = req.Data
+	b.portNum = port
+	b.shared = false
+	if cap(b.verdicts) < len(b.ports) {
+		b.verdicts = make([]SnoopVerdict, len(b.ports))
+	}
+	b.verdicts = b.verdicts[:len(b.ports)]
+	for i := range b.verdicts {
+		b.verdicts[i] = SnoopVerdict{}
+	}
+	b.ports[port].initiator.BusGrant()
+}
+
+func (b *Bus) probeAll() {
+	var data uint32
+	if b.op.CarriesData() {
+		data = b.data
+	}
+	for i := range b.ports {
+		if i == b.portNum {
+			continue
+		}
+		sn := b.ports[i].snooper
+		if sn == nil {
+			continue
+		}
+		b.verdicts[i] = sn.SnoopProbe(b.op, b.addr, data)
+	}
+}
+
+func (b *Bus) resolveShared() {
+	for i := range b.verdicts {
+		if i != b.portNum && b.verdicts[i].HasLine {
+			b.shared = true
+			break
+		}
+	}
+	if b.shared {
+		b.stats.SharedHits++
+	}
+	var data uint32
+	if b.op.CarriesData() {
+		data = b.data
+	}
+	for i := range b.ports {
+		if i == b.portNum {
+			continue
+		}
+		sn := b.ports[i].snooper
+		if sn == nil || !b.verdicts[i].HasLine {
+			continue
+		}
+		sn.SnoopCommit(b.op, b.addr, data, b.shared)
+	}
+}
+
+func (b *Bus) complete() {
+	res := Result{
+		Op:     b.op,
+		Addr:   b.addr,
+		Shared: b.shared,
+		Done:   b.clock.Now(),
+	}
+	// Snoop-side flushes land before the operation's own memory effect so
+	// the operation's data (the newest value) wins on overlap.
+	if b.mem != nil {
+		for i, v := range b.verdicts {
+			if i == b.portNum {
+				continue
+			}
+			for _, f := range v.Flush {
+				b.mem.WriteWord(f.Addr, f.Data)
+			}
+		}
+	}
+	if b.op.IsRead() {
+		supplied := false
+		reflect := false
+		var word uint32
+		for i, v := range b.verdicts {
+			if i == b.portNum || !v.Supply {
+				continue
+			}
+			if supplied && v.Data != word {
+				// The protocol guarantees all supplying caches hold
+				// identical values ("More than one cache may supply read
+				// data, but since the protocol ensures coherence, the
+				// values will be identical", §5.1). Divergence is a
+				// protocol implementation bug, so fail loudly.
+				panic(fmt.Sprintf("mbus: incoherent supply at %v: %#x vs %#x", b.addr, word, v.Data))
+			}
+			supplied = true
+			word = v.Data
+			reflect = reflect || v.MemWrite
+		}
+		if supplied {
+			res.Data = word
+			res.CacheSupplied = true
+			if reflect && b.mem != nil {
+				b.mem.WriteWord(b.addr, word)
+			}
+		} else if b.mem != nil {
+			if w, ok := b.mem.ReadWord(b.addr); ok {
+				res.Data = w
+			}
+		}
+	}
+	if b.op.WritesMemory() && b.mem != nil {
+		b.mem.WriteWord(b.addr, b.data)
+	}
+	b.stats.Ops[b.op]++
+	b.stats.PerPort[b.portNum]++
+	b.ports[b.portNum].initiator.BusComplete(res)
+}
+
+func (b *Bus) traceCycle(phase int, note string) {
+	if !b.tracing {
+		return
+	}
+	e := TraceEntry{Cycle: b.clock.Now(), Phase: phase, Note: note}
+	if phase > 0 {
+		e.Op = b.op
+		e.Addr = b.addr
+		e.Port = b.portNum
+		e.Shared = b.shared
+	}
+	b.trace = append(b.trace, e)
+}

@@ -1,0 +1,170 @@
+// Package memory models the Firefly main storage: one master module plus
+// slave modules on the MBus. The original system used four-megabyte
+// modules (up to 16 MB total); the CVAX version uses 32 MB modules (up to
+// 128 MB). Storage responds in the fourth cycle of an MBus operation
+// unless a cache asserted MShared, in which case it is inhibited for reads
+// (the caches supply the data) but still absorbs writes — Firefly
+// write-through updates main storage as well as the sharing caches.
+package memory
+
+import (
+	"fmt"
+
+	"firefly/internal/mbus"
+)
+
+// Standard module sizes from the paper.
+const (
+	MicroVAXModuleBytes = 4 << 20  // original master/slave modules
+	CVAXModuleBytes     = 32 << 20 // second-version modules
+)
+
+// Module is one storage board. Storage is word-granular and sparse: a
+// word never written reads as zero, as DRAM contents are undefined anyway
+// and the simulator zero-fills.
+type Module struct {
+	base  mbus.Addr
+	size  uint32
+	words map[mbus.Addr]uint32
+
+	reads  uint64
+	writes uint64
+}
+
+// NewModule returns a module covering [base, base+size).
+func NewModule(base mbus.Addr, size uint32) *Module {
+	if size == 0 || size%4 != 0 {
+		panic(fmt.Sprintf("memory: bad module size %d", size))
+	}
+	if uint32(base)%4 != 0 {
+		panic(fmt.Sprintf("memory: misaligned module base %v", base))
+	}
+	return &Module{base: base, size: size, words: make(map[mbus.Addr]uint32)}
+}
+
+// Base returns the module's first byte address.
+func (m *Module) Base() mbus.Addr { return m.base }
+
+// Size returns the module's capacity in bytes.
+func (m *Module) Size() uint32 { return m.size }
+
+// Contains reports whether addr falls inside the module.
+func (m *Module) Contains(addr mbus.Addr) bool {
+	return addr >= m.base && uint32(addr-m.base) < m.size
+}
+
+func (m *Module) read(addr mbus.Addr) uint32 {
+	m.reads++
+	return m.words[addr.Line()]
+}
+
+func (m *Module) write(addr mbus.Addr, data uint32) {
+	m.writes++
+	m.words[addr.Line()] = data
+}
+
+// Accesses returns the module's read and write counts.
+func (m *Module) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+// System is the full storage array: master plus slaves, presented to the
+// bus as a single address space. It implements mbus.Memory.
+type System struct {
+	modules []*Module
+}
+
+// NewSystem builds a contiguous storage array of n modules of the given
+// size starting at address zero, matching how the Firefly backplane was
+// populated.
+func NewSystem(n int, moduleSize uint32) *System {
+	if n < 1 {
+		panic("memory: need at least the master module")
+	}
+	s := &System{}
+	for i := 0; i < n; i++ {
+		s.modules = append(s.modules, NewModule(mbus.Addr(uint32(i)*moduleSize), moduleSize))
+	}
+	return s
+}
+
+// NewMicroVAXSystem returns the standard original configuration: n
+// four-megabyte modules (1 master + n-1 slaves), n in 1..4.
+func NewMicroVAXSystem(n int) *System {
+	if n < 1 || n > 4 {
+		panic(fmt.Sprintf("memory: MicroVAX Firefly holds 1..4 modules, got %d", n))
+	}
+	return NewSystem(n, MicroVAXModuleBytes)
+}
+
+// NewCVAXSystem returns the second-version configuration: n 32 MB
+// modules, n in 1..4 (up to 128 MB).
+func NewCVAXSystem(n int) *System {
+	if n < 1 || n > 4 {
+		panic(fmt.Sprintf("memory: CVAX Firefly holds 1..4 modules, got %d", n))
+	}
+	return NewSystem(n, CVAXModuleBytes)
+}
+
+// Bytes returns the total populated storage.
+func (s *System) Bytes() uint64 {
+	var t uint64
+	for _, m := range s.modules {
+		t += uint64(m.size)
+	}
+	return t
+}
+
+// NumModules returns the module count.
+func (s *System) NumModules() int { return len(s.modules) }
+
+// Module returns the i'th module.
+func (s *System) Module(i int) *Module { return s.modules[i] }
+
+func (s *System) find(addr mbus.Addr) *Module {
+	for _, m := range s.modules {
+		if m.Contains(addr) {
+			return m
+		}
+	}
+	return nil
+}
+
+// ReadWord implements mbus.Memory.
+func (s *System) ReadWord(addr mbus.Addr) (uint32, bool) {
+	m := s.find(addr)
+	if m == nil {
+		return 0, false
+	}
+	return m.read(addr), true
+}
+
+// WriteWord implements mbus.Memory.
+func (s *System) WriteWord(addr mbus.Addr, data uint32) bool {
+	m := s.find(addr)
+	if m == nil {
+		return false
+	}
+	m.write(addr, data)
+	return true
+}
+
+// Peek reads a word without touching the access counters; harnesses and
+// invariant checks use it so measurement does not perturb statistics.
+func (s *System) Peek(addr mbus.Addr) uint32 {
+	m := s.find(addr)
+	if m == nil {
+		return 0
+	}
+	return m.words[addr.Line()]
+}
+
+// Poke writes a word without touching the access counters, for loading
+// initial images (boot code, display work queues) before a run.
+func (s *System) Poke(addr mbus.Addr, data uint32) {
+	m := s.find(addr)
+	if m == nil {
+		panic(fmt.Sprintf("memory: Poke outside populated storage: %v", addr))
+	}
+	m.words[addr.Line()] = data
+}
+
+var _ mbus.Memory = (*System)(nil)

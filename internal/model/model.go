@@ -1,0 +1,246 @@
+// Package model implements the paper's back-of-the-envelope performance
+// analysis (§5.2): a single-processor characterization plus an open
+// queuing model of the MBus that predicts ticks-per-instruction, relative
+// per-processor performance, and total system performance as a function of
+// bus load. It regenerates Table 1 exactly and provides the "expected"
+// columns of Table 2.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"firefly/internal/stats"
+)
+
+// Params are the model inputs. The defaults are the paper's measured and
+// assumed values for the MicroVAX Firefly.
+type Params struct {
+	// BaseTPI is the processor's ticks per instruction with no-wait-state
+	// memory (11.9 for the MicroVAX 78032, from trace-driven simulation).
+	BaseTPI float64
+	// IR, DR, DW are instruction reads, data reads, and data writes per
+	// instruction — architectural properties of the VAX measured by Emer
+	// and Clark (.95, .78, .40).
+	IR, DR, DW float64
+	// M is the cache miss rate per reference (0.2 for the 16 KB
+	// one-longword-line Firefly cache).
+	M float64
+	// D is the fraction of cache entries that are dirty (0.25).
+	D float64
+	// S is the fraction of processor writes that touch shared data (the
+	// paper's admittedly arbitrary 0.1 estimate).
+	S float64
+	// N is the number of processor ticks per MBus operation (2 for the
+	// MicroVAX's 200 ns tick against the 400 ns bus operation).
+	N float64
+	// TickNS is the processor tick length in nanoseconds (200 for the
+	// MicroVAX, 100 for the CVAX).
+	TickNS float64
+}
+
+// MicroVAX returns the paper's parameter set for the original Firefly.
+func MicroVAX() Params {
+	return Params{
+		BaseTPI: 11.9,
+		IR:      0.95, DR: 0.78, DW: 0.40,
+		M: 0.2, D: 0.25, S: 0.1,
+		N: 2, TickNS: 200,
+	}
+}
+
+// CVAX returns a parameter set for the second-version Firefly: twice-fast
+// ticks, so an MBus operation spans four processor ticks, and a quartered
+// miss rate from the four-times-larger cache (the paper's design
+// assumption that the larger cache "would decrease the miss rates by an
+// amount that would make up for the increased speed of the processor").
+func CVAX() Params {
+	p := MicroVAX()
+	p.TickNS = 100
+	p.N = 4
+	p.M = 0.05
+	return p
+}
+
+// TR returns total references per instruction.
+func (p Params) TR() float64 { return p.IR + p.DR + p.DW }
+
+// SM returns the added ticks per instruction due to misses at bus load l:
+// TR * M * (1+D) * N/(1-l).
+func (p Params) SM(l float64) float64 {
+	return p.TR() * p.M * (1 + p.D) * p.N / (1 - l)
+}
+
+// SW returns the added ticks per instruction due to write-through of
+// shared data: DW * S * N/(1-l).
+func (p Params) SW(l float64) float64 {
+	return p.DW * p.S * p.N / (1 - l)
+}
+
+// SP returns the added ticks per instruction due to tag-store probes by
+// other caches: TR * (1-M) * (1/N) * l.
+func (p Params) SP(l float64) float64 {
+	return p.TR() * (1 - p.M) * l / p.N
+}
+
+// TPI returns ticks per instruction at bus load l.
+func (p Params) TPI(l float64) float64 {
+	return p.BaseTPI + p.SM(l) + p.SW(l) + p.SP(l)
+}
+
+// RP returns the relative performance of one processor at load l,
+// BaseTPI/TPI.
+func (p Params) RP(l float64) float64 { return p.BaseTPI / p.TPI(l) }
+
+// opsPerInstruction returns MBus operations per instruction:
+// misses (each a read plus D victim writes) plus shared write-throughs.
+func (p Params) opsPerInstruction() float64 {
+	return p.M*p.TR()*(1+p.D) + p.DW*p.S
+}
+
+// NP returns the number of processors required to produce bus load l:
+// (l/N) divided by the per-processor operation rate. With the paper's
+// defaults this is l*TPI/1.145.
+func (p Params) NP(l float64) float64 {
+	return l * p.TPI(l) / (p.N * p.opsPerInstruction())
+}
+
+// TP returns total system performance at load l relative to one processor
+// with no-wait-state memory: RP * NP.
+func (p Params) TP(l float64) float64 { return p.RP(l) * p.NP(l) }
+
+// LoadFor inverts NP(l) numerically: the bus load produced by np
+// processors. NP is strictly increasing in l on (0,1), so bisection
+// converges; loads that would exceed saturation return values
+// asymptotically close to 1.
+func (p Params) LoadFor(np float64) float64 {
+	if np <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 1.0-1e-9
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if p.NP(mid) < np {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RefsPerSecAtLoad returns the per-processor reference rate at bus load l,
+// in references per second: TR / (TPI(l) * tick).
+func (p Params) RefsPerSecAtLoad(l float64) float64 {
+	return p.TR() / (p.TPI(l) * p.TickNS * 1e-9)
+}
+
+// ZeroLoadTPI is the single-processor accounting used for Table 2's
+// one-CPU "expected" column: the base TPI plus one tick per miss and two
+// ticks (one bus operation) per dirty victim write, with no queueing.
+func (p Params) ZeroLoadTPI() float64 {
+	missesPerInstr := p.TR() * p.M
+	return p.BaseTPI + missesPerInstr + missesPerInstr*p.D*p.N
+}
+
+// ZeroLoadRefsPerSec is the expected one-CPU reference rate ("about 850K
+// references per second" for the MicroVAX parameters).
+func (p Params) ZeroLoadRefsPerSec() float64 {
+	return p.TR() / (p.ZeroLoadTPI() * p.TickNS * 1e-9)
+}
+
+// ReadFraction is the fraction of references that are reads.
+func (p Params) ReadFraction() float64 { return (p.IR + p.DR) / p.TR() }
+
+// Point is one column of Table 1.
+type Point struct {
+	NP  int     // number of processors
+	L   float64 // bus load
+	TPI float64 // ticks per instruction
+	RP  float64 // relative performance of one processor
+	TP  float64 // total performance
+}
+
+// At evaluates the model for np processors.
+func (p Params) At(np int) Point {
+	l := p.LoadFor(float64(np))
+	return Point{NP: np, L: l, TPI: p.TPI(l), RP: p.RP(l), TP: p.TP(l)}
+}
+
+// Sweep evaluates the model at each processor count.
+func (p Params) Sweep(nps []int) []Point {
+	out := make([]Point, len(nps))
+	for i, np := range nps {
+		out[i] = p.At(np)
+	}
+	return out
+}
+
+// Table1NPs are the processor counts of the paper's Table 1.
+var Table1NPs = []int{2, 4, 6, 8, 10, 12}
+
+// Table1 regenerates the paper's Table 1 with the MicroVAX parameters.
+func Table1() []Point { return MicroVAX().Sweep(Table1NPs) }
+
+// RenderTable1 formats a sweep in the layout of the paper's Table 1.
+func RenderTable1(points []Point) string {
+	headers := []string{""}
+	for _, pt := range points {
+		headers = append(headers, fmt.Sprintf("%d", pt.NP))
+	}
+	t := stats.NewTable("Table 1: Firefly Estimated Performance", headers...)
+	row := func(label, format string, get func(Point) float64) {
+		cells := []string{label}
+		for _, pt := range points {
+			cells = append(cells, fmt.Sprintf(format, get(pt)))
+		}
+		t.AddRow(cells...)
+	}
+	row("L (bus loading)", "%.2f", func(pt Point) float64 { return pt.L })
+	row("TPI (ticks per instruction)", "%.1f", func(pt Point) float64 { return pt.TPI })
+	row("RP (relative performance)", "%.2f", func(pt Point) float64 { return pt.RP })
+	row("TP (total performance)", "%.2f", func(pt Point) float64 { return pt.TP })
+	return t.String()
+}
+
+// Saturation returns the processor count beyond which adding a processor
+// improves total performance by less than minGain (e.g. 0.35 of a
+// processor), echoing the paper's observation that "the Firefly MBus can
+// support perhaps nine processors before the marginal improvement achieved
+// by adding another processor becomes unattractive."
+func (p Params) Saturation(minGain float64) int {
+	prev := p.At(1).TP
+	for np := 2; np <= 64; np++ {
+		tp := p.At(np).TP
+		if tp-prev < minGain {
+			return np - 1
+		}
+		prev = tp
+	}
+	return 64
+}
+
+// Validate checks the parameters for physical plausibility.
+func (p Params) Validate() error {
+	switch {
+	case p.BaseTPI <= 0:
+		return fmt.Errorf("model: BaseTPI %v must be positive", p.BaseTPI)
+	case p.IR < 0 || p.DR < 0 || p.DW < 0:
+		return fmt.Errorf("model: negative reference rates")
+	case p.TR() == 0:
+		return fmt.Errorf("model: zero references per instruction")
+	case p.M < 0 || p.M > 1:
+		return fmt.Errorf("model: miss rate %v out of [0,1]", p.M)
+	case p.D < 0 || p.D > 1:
+		return fmt.Errorf("model: dirty fraction %v out of [0,1]", p.D)
+	case p.S < 0 || p.S > 1:
+		return fmt.Errorf("model: sharing fraction %v out of [0,1]", p.S)
+	case p.N <= 0:
+		return fmt.Errorf("model: N %v must be positive", p.N)
+	case p.TickNS <= 0:
+		return fmt.Errorf("model: TickNS %v must be positive", p.TickNS)
+	case math.IsNaN(p.BaseTPI + p.IR + p.DR + p.DW + p.M + p.D + p.S + p.N + p.TickNS):
+		return fmt.Errorf("model: NaN parameter")
+	}
+	return nil
+}

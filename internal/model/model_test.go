@@ -1,0 +1,236 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestPaperConstants(t *testing.T) {
+	p := MicroVAX()
+	if !almost(p.TR(), 2.13, 1e-9) {
+		t.Fatalf("TR = %v, want 2.13", p.TR())
+	}
+	// SM = 1.065/(1-L): at L=0 the numerator is TR*M*(1+D)*N = 1.065.
+	if !almost(p.SM(0), 1.065, 1e-9) {
+		t.Fatalf("SM(0) = %v, want 1.065", p.SM(0))
+	}
+	// SW = .08/(1-L).
+	if !almost(p.SW(0), 0.08, 1e-9) {
+		t.Fatalf("SW(0) = %v, want 0.08", p.SW(0))
+	}
+	// SP = .852*L (the paper rounds to .85L).
+	if !almost(p.SP(1), 0.852, 1e-9) {
+		t.Fatalf("SP(1) = %v, want 0.852", p.SP(1))
+	}
+	// NP = L*TPI/1.145: the denominator N*opsPerInstruction.
+	if !almost(p.N*p.opsPerInstruction(), 1.145, 1e-9) {
+		t.Fatalf("N*ops = %v, want 1.145", p.N*p.opsPerInstruction())
+	}
+}
+
+// TestTable1Reproduction checks every cell of the paper's Table 1.
+// The paper's own values are printed to 2-3 significant figures, so each
+// row is compared at its printed precision.
+func TestTable1Reproduction(t *testing.T) {
+	want := []struct {
+		np     int
+		l, tpi float64
+		haveL  bool
+		rp, tp float64
+	}{
+		// The L and TPI entries for NP=2 are illegible in the source
+		// scan; the derived RP/TP entries are checked for every column.
+		{2, 0, 0, false, 0.89, 1.77},
+		{4, 0.33, 13.9, true, 0.85, 3.43},
+		{6, 0.47, 14.5, true, 0.82, 4.93},
+		{8, 0.60, 15.3, true, 0.78, 6.23},
+		{10, 0.70, 16.3, true, 0.72, 7.29},
+		{12, 0.78, 17.7, true, 0.67, 8.07},
+	}
+	pts := Table1()
+	if len(pts) != len(want) {
+		t.Fatalf("Table1 has %d points", len(pts))
+	}
+	for i, w := range want {
+		got := pts[i]
+		if got.NP != w.np {
+			t.Fatalf("row %d: NP = %d", i, got.NP)
+		}
+		if w.haveL {
+			if !almost(got.L, w.l, 0.005) {
+				t.Errorf("NP=%d: L = %.3f, want %.2f", w.np, got.L, w.l)
+			}
+			if !almost(got.TPI, w.tpi, 0.05) {
+				t.Errorf("NP=%d: TPI = %.2f, want %.1f", w.np, got.TPI, w.tpi)
+			}
+		}
+		// The paper's RP row mixes rounding and truncation (e.g. 0.857 is
+		// printed as .85 but 0.886 as .89), so allow one count in the
+		// second decimal.
+		if !almost(got.RP, w.rp, 0.01) {
+			t.Errorf("NP=%d: RP = %.3f, want %.2f", w.np, got.RP, w.rp)
+		}
+		if !almost(got.TP, w.tp, 0.005) {
+			t.Errorf("NP=%d: TP = %.3f, want %.2f", w.np, got.TP, w.tp)
+		}
+	}
+}
+
+func TestStandardFiveProcessorClaims(t *testing.T) {
+	// "The standard five-processor configuration delivers somewhat more
+	// than four times the performance of a single processor... The average
+	// bus load on the standard machine is 0.4 and each processor runs at
+	// about 85% of a no-wait-state system."
+	p := MicroVAX()
+	pt := p.At(5)
+	if pt.TP < 4.0 || pt.TP > 4.5 {
+		t.Fatalf("TP(5) = %v, want a bit over 4", pt.TP)
+	}
+	if !almost(pt.L, 0.4, 0.015) {
+		t.Fatalf("L(5) = %v, want ~0.4", pt.L)
+	}
+	if !almost(pt.RP, 0.85, 0.015) {
+		t.Fatalf("RP(5) = %v, want ~0.85", pt.RP)
+	}
+}
+
+func TestSaturationAroundNine(t *testing.T) {
+	// "the Firefly MBus can support perhaps nine processors before the
+	// marginal improvement achieved by adding another processor becomes
+	// unattractive" — with a marginal-gain threshold of ~0.45 of a
+	// processor the knee lands near nine.
+	got := MicroVAX().Saturation(0.45)
+	if got < 9 || got > 11 {
+		t.Fatalf("saturation = %d, want 9..11", got)
+	}
+}
+
+func TestZeroLoadRefsRate(t *testing.T) {
+	// "We would expect a one-CPU system to make about 850K references per
+	// second."
+	p := MicroVAX()
+	got := p.ZeroLoadRefsPerSec() / 1000
+	if !almost(got, 850, 5) {
+		t.Fatalf("zero-load rate = %vK, want ~850K", got)
+	}
+	// Table 2, five-CPU expected column: 752K per CPU at L≈0.4... the
+	// paper's numbers imply evaluation at the five-processor load.
+	l := p.LoadFor(5)
+	rate := p.RefsPerSecAtLoad(l) / 1000
+	if !almost(rate, 752, 8) {
+		t.Fatalf("five-CPU expected rate = %vK, want ~752K", rate)
+	}
+	// Reads/writes split: 609/143 expected.
+	reads := rate * p.ReadFraction()
+	writes := rate - reads
+	if !almost(reads, 609, 8) || !almost(writes, 143, 4) {
+		t.Fatalf("split = %v/%v, want ~609/143", reads, writes)
+	}
+}
+
+func TestLoadForInvertsNP(t *testing.T) {
+	p := MicroVAX()
+	f := func(raw uint8) bool {
+		np := 1 + float64(raw%20)
+		l := p.LoadFor(np)
+		return almost(p.NP(l), np, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if p.LoadFor(0) != 0 || p.LoadFor(-3) != 0 {
+		t.Fatal("non-positive NP should yield zero load")
+	}
+}
+
+func TestTPIMonotoneInLoad(t *testing.T) {
+	p := MicroVAX()
+	prev := p.TPI(0)
+	for l := 0.05; l < 0.95; l += 0.05 {
+		cur := p.TPI(l)
+		if cur <= prev {
+			t.Fatalf("TPI not increasing at L=%v", l)
+		}
+		prev = cur
+	}
+}
+
+func TestTPDiminishingReturns(t *testing.T) {
+	p := MicroVAX()
+	prevTP, prevGain := 0.0, math.Inf(1)
+	for np := 1; np <= 12; np++ {
+		tp := p.At(np).TP
+		gain := tp - prevTP
+		if gain <= 0 {
+			t.Fatalf("adding processor %d reduced TP", np)
+		}
+		if gain > prevGain+1e-9 {
+			t.Fatalf("marginal gain increased at NP=%d", np)
+		}
+		prevTP, prevGain = tp, gain
+	}
+}
+
+func TestCVAXParams(t *testing.T) {
+	p := CVAX()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 4 || p.TickNS != 100 {
+		t.Fatalf("CVAX timing wrong: %+v", p)
+	}
+	// The design bet: per-processor bus operation rate (ops/sec) should be
+	// in the same ballpark as the MicroVAX so the original MBus suffices.
+	mv, cv := MicroVAX(), p
+	mvOps := mv.opsPerInstruction() / (mv.BaseTPI * mv.TickNS * 1e-9)
+	cvOps := cv.opsPerInstruction() / (cv.BaseTPI * cv.TickNS * 1e-9)
+	ratio := cvOps / mvOps
+	if ratio < 0.4 || ratio > 1.6 {
+		t.Fatalf("CVAX per-CPU bus op rate ratio = %v, want near 1", ratio)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := MicroVAX()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Params{
+		func() Params { p := MicroVAX(); p.BaseTPI = 0; return p }(),
+		func() Params { p := MicroVAX(); p.M = 1.5; return p }(),
+		func() Params { p := MicroVAX(); p.D = -0.1; return p }(),
+		func() Params { p := MicroVAX(); p.S = 2; return p }(),
+		func() Params { p := MicroVAX(); p.N = 0; return p }(),
+		func() Params { p := MicroVAX(); p.TickNS = 0; return p }(),
+		func() Params { p := MicroVAX(); p.IR, p.DR, p.DW = 0, 0, 0; return p }(),
+		func() Params { p := MicroVAX(); p.M = math.NaN(); return p }(),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d validated", i)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	s := RenderTable1(Table1())
+	for _, want := range []string{"Table 1", "bus loading", "TPI", "0.33", "13.9", "8.07"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSweepMatchesAt(t *testing.T) {
+	p := MicroVAX()
+	pts := p.Sweep([]int{1, 3, 5})
+	for i, np := range []int{1, 3, 5} {
+		if pts[i] != p.At(np) {
+			t.Fatalf("Sweep[%d] != At(%d)", i, np)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package rpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	m := &Message{Kind: Call, ID: 42, Proc: 7, Payload: []byte("hello firefly")}
+	buf, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != Call || got.ID != 42 || got.Proc != 7 || string(got.Payload) != "hello firefly" {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(id uint32, proc uint16, payload []byte, reply bool) bool {
+		if len(payload) > MaxPayload {
+			payload = payload[:MaxPayload]
+		}
+		kind := Call
+		if reply {
+			kind = Reply
+		}
+		m := &Message{Kind: kind, ID: id, Proc: proc, Payload: payload}
+		buf, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil || got.Kind != kind || got.ID != id || got.Proc != proc {
+			return false
+		}
+		if len(got.Payload) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got.Payload[i] != payload[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageErrors(t *testing.T) {
+	if _, err := (&Message{Kind: 9}).Marshal(); err == nil {
+		t.Fatal("bad kind marshalled")
+	}
+	if _, err := (&Message{Kind: Call, Payload: make([]byte, MaxPayload+1)}).Marshal(); err == nil {
+		t.Fatal("oversized payload marshalled")
+	}
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatal("nil buffer unmarshalled")
+	}
+	if _, err := Unmarshal(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer unmarshalled")
+	}
+	good, _ := (&Message{Kind: Call, Payload: []byte{1, 2, 3}}).Marshal()
+	bad := append([]byte(nil), good...)
+	bad[0] = 9
+	if _, err := Unmarshal(bad); err == nil {
+		t.Fatal("corrupt kind unmarshalled")
+	}
+	if _, err := Unmarshal(good[:len(good)-1]); err == nil {
+		t.Fatal("truncated payload unmarshalled")
+	}
+}
+
+func TestWireBits(t *testing.T) {
+	small := &Message{Kind: Call, Payload: make([]byte, 100)}
+	if small.WireBits() != uint64(111+46)*8 {
+		t.Fatalf("small wire bits = %d", small.WireBits())
+	}
+	big := &Message{Kind: Call, Payload: make([]byte, 3000)}
+	// 3011 bytes -> 3 fragments -> 3*46 overhead.
+	if big.WireBits() != uint64(3011+138)*8 {
+		t.Fatalf("big wire bits = %d", big.WireBits())
+	}
+}
+
+// TestThroughputKneeAtThreeThreads reproduces the §6 claim: the data
+// transfer protocol sustains ~4.6 Mbit/s with an average of three
+// concurrent threads, and more threads do not help (the per-connection
+// server stage is saturated).
+func TestThroughputKneeAtThreeThreads(t *testing.T) {
+	results := Sweep(Config{}, []int{1, 2, 3, 4, 6, 8}, 2.0)
+	byThreads := map[int]Result{}
+	for _, r := range results {
+		byThreads[r.Threads] = r
+	}
+	three := byThreads[3].Mbps
+	if math.Abs(three-4.6) > 0.25 {
+		t.Fatalf("3-thread bandwidth = %.2f Mbit/s, want ~4.6", three)
+	}
+	if one := byThreads[1].Mbps; one > 0.6*three {
+		t.Fatalf("1-thread bandwidth %.2f too close to saturation %.2f", one, three)
+	}
+	if byThreads[2].Mbps <= byThreads[1].Mbps {
+		t.Fatal("no scaling from 1 to 2 threads")
+	}
+	// Beyond the knee: flat.
+	if eight := byThreads[8].Mbps; math.Abs(eight-three) > 0.3 {
+		t.Fatalf("8-thread bandwidth %.2f departs from saturation %.2f", eight, three)
+	}
+}
+
+func TestServerIsBottleneckAtSaturation(t *testing.T) {
+	r := Run(Config{}, 6, 1.0)
+	if r.ServerUtil < 0.95 {
+		t.Fatalf("server utilization %.2f at saturation, want ~1", r.ServerUtil)
+	}
+	if r.WireUtil >= 0.95 {
+		t.Fatalf("wire utilization %.2f should not saturate first", r.WireUtil)
+	}
+}
+
+func TestAllMessagesUnmarshalCleanly(t *testing.T) {
+	r := Run(Config{}, 3, 0.5)
+	if r.MarshalledBad != 0 {
+		t.Fatalf("%d messages failed the marshal round trip", r.MarshalledBad)
+	}
+	if r.MarshalledOK == 0 {
+		t.Fatal("no messages transported")
+	}
+}
+
+func TestLatencyGrowsWithQueueing(t *testing.T) {
+	one := Run(Config{}, 1, 1.0)
+	eight := Run(Config{}, 8, 1.0)
+	if eight.MeanLatencyUS <= one.MeanLatencyUS {
+		t.Fatalf("latency did not grow with queueing: %v vs %v µs",
+			one.MeanLatencyUS, eight.MeanLatencyUS)
+	}
+	// Single-thread latency is the raw RTT: ~4-5 ms for a 1 KB call on
+	// this calibration.
+	if one.MeanLatencyUS < 3000 || one.MeanLatencyUS > 6000 {
+		t.Fatalf("1-thread RTT = %v µs, want 3-6 ms", one.MeanLatencyUS)
+	}
+}
+
+func TestPayloadScaling(t *testing.T) {
+	smallPay := Run(Config{PayloadBytes: 256}, 4, 1.0)
+	largePay := Run(Config{PayloadBytes: 4096}, 4, 1.0)
+	// Larger fragments amortize fixed costs: more payload bandwidth.
+	if largePay.Mbps <= smallPay.Mbps {
+		t.Fatalf("large fragments slower: %v vs %v", largePay.Mbps, smallPay.Mbps)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Run(Config{}, 0, 1) },
+		func() { Run(Config{PayloadBytes: -1}, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Run(Config{}, 3, 0.5)
+	b := Run(Config{}, 3, 0.5)
+	if a.Calls != b.Calls || a.Mbps != b.Mbps {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,219 @@
+package rpc
+
+import (
+	"fmt"
+
+	"firefly/internal/sim"
+	"firefly/internal/stats"
+)
+
+// Config calibrates the transport pipeline. Durations are in MBus cycles
+// (100 ns); defaults reproduce the MicroVAX-era Topaz RPC measurements.
+type Config struct {
+	// PayloadBytes is the data carried per call (default 1024: the data
+	// transfer protocol's fragment).
+	PayloadBytes int
+
+	// ClientFixedCycles + ClientPerByteCentiCycles/100 cycles per byte is
+	// the client-side cost per call: stub, marshal, buffer handoff.
+	// Default 1500 + 12.4 cycles/byte (the MicroVAX marshalling path
+	// copies at roughly 0.8 MB/s).
+	ClientFixedCycles        uint64
+	ClientPerByteCentiCycles uint64
+
+	// WireFixedCycles covers framing, device start-up (the interprocessor
+	// interrupt to the I/O processor), and turnaround. The per-bit cost is
+	// the 10 Mbit/s Ethernet itself. Default 2300.
+	WireFixedCycles uint64
+
+	// ServerFixedCycles + ServerPerByteCentiCycles/100 cycles per byte is
+	// the server-side cost: receive interrupt, unmarshal, the procedure
+	// itself, reply marshal and acknowledgment turnaround. Per-connection
+	// processing is serialized (the transfer protocol delivers fragments
+	// in order), so this stage is the pipeline's bottleneck: with the
+	// default 2500 + 14.95 cycles/byte and 1 KB fragments it serves one
+	// call per ~1.78 ms — 4.6 Mbit/s of payload.
+	ServerFixedCycles        uint64
+	ServerPerByteCentiCycles uint64
+
+	// ReplyWireCycles and ClientFinishCycles close the call. Defaults
+	// 1200 and 800.
+	ReplyWireCycles    uint64
+	ClientFinishCycles uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 1024
+	}
+	if c.ClientFixedCycles == 0 {
+		c.ClientFixedCycles = 1500
+	}
+	if c.ClientPerByteCentiCycles == 0 {
+		c.ClientPerByteCentiCycles = 1240
+	}
+	if c.WireFixedCycles == 0 {
+		c.WireFixedCycles = 2300
+	}
+	if c.ServerFixedCycles == 0 {
+		c.ServerFixedCycles = 2500
+	}
+	if c.ServerPerByteCentiCycles == 0 {
+		c.ServerPerByteCentiCycles = 1495
+	}
+	if c.ReplyWireCycles == 0 {
+		c.ReplyWireCycles = 1200
+	}
+	if c.ClientFinishCycles == 0 {
+		c.ClientFinishCycles = 800
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.PayloadBytes < 0 || c.PayloadBytes > MaxPayload {
+		return fmt.Errorf("rpc: payload %d out of range", c.PayloadBytes)
+	}
+	return nil
+}
+
+// station is a FIFO server: one request at a time, queued in arrival
+// order.
+type station struct {
+	name      string
+	q         *sim.EventQueue
+	busyUntil sim.Cycle
+	busyTime  uint64
+	served    stats.Counter
+}
+
+// acquire schedules fn after the station has served this request for
+// duration cycles, FIFO behind earlier requests.
+func (s *station) acquire(duration uint64, fn func()) {
+	start := s.q.Now()
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	end := start + sim.Cycle(duration)
+	s.busyUntil = end
+	s.busyTime += duration
+	s.served.Inc()
+	s.q.At(end, fn)
+}
+
+// utilization returns the fraction of elapsed time the station was busy.
+func (s *station) utilization(elapsed sim.Cycle) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / float64(uint64(elapsed))
+}
+
+// Result summarizes one transport run.
+type Result struct {
+	Threads       int
+	SimSeconds    float64
+	Calls         uint64
+	BytesMoved    uint64
+	Mbps          float64 // payload megabits per second sustained
+	MeanLatencyUS float64 // mean per-call latency in microseconds
+	WireUtil      float64
+	ServerUtil    float64
+	ClientUtil    float64
+	MarshalledOK  uint64 // messages that survived the marshal round trip
+	MarshalledBad uint64 // must be zero
+}
+
+// Run drives the transport with the given number of client threads
+// (outstanding calls) for the given simulated time.
+func Run(cfg Config, threads int, seconds float64) Result {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if threads < 1 {
+		panic("rpc: need at least one client thread")
+	}
+	clock := &sim.Clock{}
+	q := sim.NewEventQueue(clock)
+	client := &station{name: "client", q: q}
+	wire := &station{name: "wire", q: q}
+	server := &station{name: "server", q: q}
+
+	deadline := sim.Cycle(seconds * 1e9 / sim.CycleNS)
+	res := Result{Threads: threads, SimSeconds: seconds}
+	var latencySum uint64
+	var nextID uint32
+
+	payload := make([]byte, cfg.PayloadBytes)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+
+	perByte := func(centi uint64) uint64 {
+		return centi * uint64(cfg.PayloadBytes) / 100
+	}
+
+	var issue func()
+	issue = func() {
+		started := q.Now()
+		if started >= deadline {
+			return
+		}
+		nextID++
+		msg := &Message{Kind: Call, ID: nextID, Proc: 7, Payload: payload}
+		buf, err := msg.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		// At 10 Mbit/s one bit takes exactly one 100 ns cycle.
+		wireCycles := cfg.WireFixedCycles + msg.WireBits()
+
+		client.acquire(cfg.ClientFixedCycles+perByte(cfg.ClientPerByteCentiCycles), func() {
+			wire.acquire(wireCycles, func() {
+				// The server unmarshals the actual bytes; a failure here
+				// is a transport bug, counted loudly.
+				if got, err := Unmarshal(buf); err != nil || got.ID != msg.ID || len(got.Payload) != len(payload) {
+					res.MarshalledBad++
+				} else {
+					res.MarshalledOK++
+				}
+				server.acquire(cfg.ServerFixedCycles+perByte(cfg.ServerPerByteCentiCycles), func() {
+					wire.acquire(cfg.ReplyWireCycles, func() {
+						client.acquire(cfg.ClientFinishCycles, func() {
+							res.Calls++
+							res.BytesMoved += uint64(cfg.PayloadBytes)
+							latencySum += uint64(q.Now() - started)
+							issue()
+						})
+					})
+				})
+			})
+		})
+	}
+
+	for i := 0; i < threads; i++ {
+		issue()
+	}
+	q.RunUntil(deadline)
+
+	elapsed := clock.Now()
+	res.Mbps = float64(res.BytesMoved*8) / (float64(elapsed.NS()) * 1e-9) / 1e6
+	if res.Calls > 0 {
+		res.MeanLatencyUS = float64(latencySum) / float64(res.Calls) * 0.1
+	}
+	res.WireUtil = wire.utilization(elapsed)
+	res.ServerUtil = server.utilization(elapsed)
+	res.ClientUtil = client.utilization(elapsed)
+	return res
+}
+
+// Sweep runs the transport at each thread count.
+func Sweep(cfg Config, threadCounts []int, seconds float64) []Result {
+	out := make([]Result, len(threadCounts))
+	for i, n := range threadCounts {
+		out[i] = Run(cfg, n, seconds)
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+// Package sim provides the simulation substrate shared by every Firefly
+// subsystem: a cycle clock in MBus cycles (100 ns), a deterministic
+// pseudo-random source, and a discrete-event queue used by the Topaz and
+// RPC layers, which operate on simulated time rather than bus cycles.
+package sim
+
+import "fmt"
+
+// CycleNS is the duration of one MBus cycle in nanoseconds. The Firefly
+// MBus runs at 10 MHz: each of the four phases of an MRead or MWrite
+// occupies one 100 ns cycle (paper, Figure 4).
+const CycleNS = 100
+
+// Cycle counts MBus cycles since simulation start.
+type Cycle uint64
+
+// NS returns the simulated time of the cycle in nanoseconds.
+func (c Cycle) NS() uint64 { return uint64(c) * CycleNS }
+
+// Seconds returns the simulated time of the cycle in seconds.
+func (c Cycle) Seconds() float64 { return float64(c.NS()) * 1e-9 }
+
+// String formats the cycle with its wall-clock equivalent.
+func (c Cycle) String() string {
+	return fmt.Sprintf("cycle %d (%.3f µs)", uint64(c), float64(c.NS())/1000)
+}
+
+// Clock is the global cycle counter for a machine. All components of one
+// machine share a single Clock; the machine's run loop is the only writer.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Tick advances the clock by one cycle and returns the new time.
+func (c *Clock) Tick() Cycle {
+	c.now++
+	return c.now
+}
+
+// Advance moves the clock forward by n cycles.
+func (c *Clock) Advance(n Cycle) Cycle {
+	c.now += n
+	return c.now
+}
+
+// Reset rewinds the clock to zero. Used between benchmark iterations.
+func (c *Clock) Reset() { c.now = 0 }

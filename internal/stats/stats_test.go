@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Fatalf("counter = %d, want 10", c.Value())
+	}
+}
+
+func TestCounterPerSecond(t *testing.T) {
+	var c Counter
+	c.Add(1000)
+	if got := c.PerSecond(2); got != 500 {
+		t.Fatalf("PerSecond(2) = %v, want 500", got)
+	}
+	if got := c.PerSecond(0); got != 0 {
+		t.Fatalf("PerSecond(0) = %v, want 0", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Fatalf("Ratio(1,4) = %v", got)
+	}
+	if got := Ratio(3, 0); got != 0 {
+		t.Fatalf("Ratio(3,0) = %v, want 0", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestHistogramMeanMax(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []uint64{5, 15, 25, 95} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 95 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if h.Mean() != 35 {
+		t.Fatalf("mean = %v, want 35", h.Mean())
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1)
+	for v := uint64(0); v < 100; v++ {
+		h.Observe(v)
+	}
+	if p := h.Percentile(0.5); p < 49 || p > 51 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := h.Percentile(1.0); p != 100 {
+		t.Fatalf("p100 = %d, want 100", p)
+	}
+	empty := NewHistogram(1)
+	if empty.Percentile(0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestHistogramZeroBinWidth(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(3)
+	if h.BinWidth != 1 {
+		t.Fatalf("bin width = %d, want 1", h.BinWidth)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		h := NewHistogram(4)
+		x := uint64(seed)
+		for i := 0; i < 200; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			h.Observe(x % 1000)
+		}
+		last := uint64(0)
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			v := h.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X", "NP", "L", "TPI")
+	tb.AddRow("2", ".20", "13.3")
+	tb.AddRow("12", ".78", "17.7")
+	s := tb.String()
+	if !strings.Contains(s, "Table X") {
+		t.Fatalf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "NP") || !strings.Contains(s, "TPI") {
+		t.Fatalf("missing headers:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("want 5 lines (title, header, rule, 2 rows), got %d:\n%s", len(lines), s)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRowf([]string{"%d", "%.2f"}, 7, 3.14159)
+	if tb.Cell(0, 0) != "7" || tb.Cell(0, 1) != "3.14" {
+		t.Fatalf("cells = %q, %q", tb.Cell(0, 0), tb.Cell(0, 1))
+	}
+	if tb.Cell(5, 5) != "" {
+		t.Fatal("out-of-range cell not empty")
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")
+	if tb.Cell(0, 2) != "" {
+		t.Fatal("padding cell should be empty")
+	}
+	_ = tb.String() // must not panic
+}
+
+func TestFormatK(t *testing.T) {
+	if got := FormatK(1_350_000); got != "1350" {
+		t.Fatalf("FormatK = %q, want 1350", got)
+	}
+}

@@ -1,0 +1,353 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"firefly/internal/mbus"
+)
+
+func TestKindString(t *testing.T) {
+	if InstrRead.String() != "I" || DataRead.String() != "R" || DataWrite.String() != "W" {
+		t.Fatal("kind mnemonics wrong")
+	}
+	if InstrRead.IsWrite() || DataRead.IsWrite() || !DataWrite.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Kind: InstrRead, Addr: 0x1234},
+		{Kind: DataRead, Addr: 0x5678},
+		{Kind: DataWrite, Addr: 0x9abc, Data: 7},
+		{Kind: DataWrite, Addr: 0x9abc, Data: 8, Partial: true},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, refs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(refs) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Fatalf("ref %d: %+v != %+v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\nI 0x0000100\n"
+	refs, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].Addr != 0x100 {
+		t.Fatalf("refs = %+v", refs)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{
+		"X 0x100\n",     // unknown kind
+		"I\n",           // missing address
+		"W 0x100\n",     // write missing data
+		"I zzz\n",       // bad address
+		"W 0x100 zzz\n", // bad data
+	} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("Read(%q) succeeded", in)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, kinds []uint8) bool {
+		var refs []Ref
+		for i, a := range addrs {
+			k := DataRead
+			if i < len(kinds) {
+				k = Kind(kinds[i] % 3)
+			}
+			r := Ref{Kind: k, Addr: mbus.Addr(a)}
+			if k == DataWrite {
+				r.Data = a ^ 0xffffffff
+				r.Partial = a%2 == 0
+			}
+			refs = append(refs, r)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, refs); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(refs) {
+			return len(refs) == 0 && len(got) == 0
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderAndReplayer(t *testing.T) {
+	fixed := &Fixed{Addr: 0x40}
+	rec := &Recorder{Inner: fixed}
+	rec.Next(InstrRead)
+	rec.Next(DataWrite)
+	if len(rec.Refs) != 2 {
+		t.Fatalf("recorded %d refs", len(rec.Refs))
+	}
+	rep := &Replayer{Refs: rec.Refs}
+	a := rep.Next(DataRead) // kind argument ignored
+	if a.Kind != InstrRead || a.Addr != 0x40 {
+		t.Fatalf("replay[0] = %+v", a)
+	}
+	b := rep.Next(DataRead)
+	if b.Kind != DataWrite || b.Data != 1 {
+		t.Fatalf("replay[1] = %+v", b)
+	}
+	// Wrap-around.
+	c := rep.Next(DataRead)
+	if c != a || rep.Wraps != 1 {
+		t.Fatalf("wrap failed: %+v wraps=%d", c, rep.Wraps)
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := &Recorder{Inner: &Fixed{Addr: 0x40}, Limit: 3}
+	for i := 0; i < 10; i++ {
+		rec.Next(DataRead)
+	}
+	if len(rec.Refs) != 3 {
+		t.Fatalf("limit ignored: %d refs", len(rec.Refs))
+	}
+}
+
+func TestReplayerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty replay did not panic")
+		}
+	}()
+	(&Replayer{}).Next(DataRead)
+}
+
+func TestSharedRegion(t *testing.T) {
+	s := NewSharedRegion(0x1003, 4) // base is line-aligned
+	if s.Base != 0x1000 {
+		t.Fatalf("base = %v", s.Base)
+	}
+	if s.Slot(0) != 0x1000 || s.Slot(3) != 0x100c || s.Slot(4) != 0x1000 {
+		t.Fatal("slot addressing wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-slot region did not panic")
+		}
+	}()
+	NewSharedRegion(0, 0)
+}
+
+func TestSyntheticConfigValidate(t *testing.T) {
+	good := SyntheticConfig{MissRate: 0.2, PrivateBase: 0x1000, PrivateBytes: 4096}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SyntheticConfig{
+		{MissRate: -1, PrivateBytes: 4096},
+		{MissRate: 0.2, ShareFraction: 2, PrivateBytes: 4096},
+		{MissRate: 0.2, SharedReadFraction: -0.5, PrivateBytes: 4096},
+		{MissRate: 0.2, PartialWriteFraction: 1.5, PrivateBytes: 4096},
+		{MissRate: 0.2, PrivateBytes: 16},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+// fakeCache is a Residency with a fixed resident set.
+type fakeCache struct {
+	resident map[mbus.Addr]bool
+	byIdx    []mbus.Addr
+}
+
+func (f *fakeCache) Contains(a mbus.Addr) bool { return f.resident[a.Line()] }
+func (f *fakeCache) ResidentLine(i int) (mbus.Addr, bool) {
+	if i < 0 || i >= len(f.byIdx) {
+		return 0, false
+	}
+	a := f.byIdx[i]
+	return a, f.resident[a]
+}
+func (f *fakeCache) Lines() int { return len(f.byIdx) }
+
+func newFakeCache(addrs ...mbus.Addr) *fakeCache {
+	f := &fakeCache{resident: make(map[mbus.Addr]bool)}
+	for _, a := range addrs {
+		f.resident[a.Line()] = true
+		f.byIdx = append(f.byIdx, a.Line())
+	}
+	return f
+}
+
+func TestSyntheticMissRateControl(t *testing.T) {
+	shared := NewSharedRegion(0x100000, 8)
+	cache := newFakeCache(0x2000, 0x2004, 0x2008, 0x200c)
+	g := NewSynthetic(SyntheticConfig{
+		MissRate:     0.3,
+		PrivateBase:  0x2000,
+		PrivateBytes: 1 << 20,
+		Seed:         42,
+	}, shared, cache)
+
+	const n = 20000
+	misses := 0
+	for i := 0; i < n; i++ {
+		ref := g.Next(DataRead)
+		if !cache.Contains(ref.Addr) {
+			misses++
+		}
+	}
+	rate := float64(misses) / n
+	if rate < 0.28 || rate < 0.25 || rate > 0.35 {
+		t.Fatalf("generated miss rate %v, want ~0.3", rate)
+	}
+}
+
+func TestSyntheticSharing(t *testing.T) {
+	shared := NewSharedRegion(0x100000, 4)
+	cache := newFakeCache(0x2000)
+	g := NewSynthetic(SyntheticConfig{
+		MissRate:      0.2,
+		ShareFraction: 0.5,
+		PrivateBase:   0x2000,
+		PrivateBytes:  1 << 16,
+		Seed:          7,
+	}, shared, cache)
+	const n = 10000
+	sharedWrites := 0
+	for i := 0; i < n; i++ {
+		ref := g.Next(DataWrite)
+		if ref.Addr >= shared.Base && ref.Addr < shared.Base+mbus.Addr(shared.Slots*4) {
+			sharedWrites++
+		}
+		if ref.Data == 0 {
+			t.Fatal("write ref without payload")
+		}
+	}
+	frac := float64(sharedWrites) / n
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("shared-write fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	mk := func() *Synthetic {
+		return NewSynthetic(SyntheticConfig{
+			MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.1,
+			PrivateBase: 0x2000, PrivateBytes: 1 << 16, Seed: 5,
+		}, NewSharedRegion(0x100000, 8), newFakeCache(0x2000, 0x2004))
+	}
+	a, b := mk(), mk()
+	kinds := []Kind{InstrRead, DataRead, DataWrite}
+	for i := 0; i < 1000; i++ {
+		k := kinds[i%3]
+		if a.Next(k) != b.Next(k) {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSyntheticNilCacheStillWorks(t *testing.T) {
+	g := NewSynthetic(SyntheticConfig{
+		MissRate: 0.2, PrivateBase: 0x2000, PrivateBytes: 4096, Seed: 1,
+	}, NewSharedRegion(0x100000, 4), nil)
+	for i := 0; i < 100; i++ {
+		ref := g.Next(DataRead)
+		if ref.Addr < 0x2000 || ref.Addr >= 0x3000 {
+			t.Fatalf("address %v outside private region", ref.Addr)
+		}
+	}
+}
+
+func TestWorkingSetLocality(t *testing.T) {
+	w := NewWorkingSet(WorkingSetConfig{
+		Base: 0x4000, Bytes: 1 << 20,
+		SetLines: 8, DriftProb: 0.01, JumpProb: 0, Seed: 3,
+	})
+	seen := map[mbus.Addr]int{}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		seen[w.Next(DataRead).Addr]++
+	}
+	// With a slow drift, the footprint must stay far below n distinct
+	// addresses: temporal locality.
+	if len(seen) > 200 {
+		t.Fatalf("footprint %d addresses in %d refs: no locality", len(seen), n)
+	}
+}
+
+func TestWorkingSetJumpChangesFootprint(t *testing.T) {
+	mk := func(jump float64) int {
+		w := NewWorkingSet(WorkingSetConfig{
+			Base: 0x4000, Bytes: 1 << 22,
+			SetLines: 8, DriftProb: 0, JumpProb: jump, Seed: 11,
+		})
+		seen := map[mbus.Addr]bool{}
+		for i := 0; i < 3000; i++ {
+			seen[w.Next(DataRead).Addr] = true
+		}
+		return len(seen)
+	}
+	stable, jumpy := mk(0), mk(0.05)
+	if jumpy <= stable*2 {
+		t.Fatalf("jumping did not grow footprint: stable=%d jumpy=%d", stable, jumpy)
+	}
+}
+
+func TestWorkingSetConstructionPanics(t *testing.T) {
+	for _, cfg := range []WorkingSetConfig{
+		{Base: 0, Bytes: 1024, SetLines: 0},
+		{Base: 0, Bytes: 8, SetLines: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			NewWorkingSet(cfg)
+		}()
+	}
+}
+
+func TestFixedSource(t *testing.T) {
+	f := &Fixed{Addr: 0x88}
+	r1 := f.Next(DataWrite)
+	r2 := f.Next(DataWrite)
+	if r1.Addr != 0x88 || r2.Addr != 0x88 {
+		t.Fatal("fixed address drifted")
+	}
+	if r1.Data == r2.Data {
+		t.Fatal("write payloads must advance")
+	}
+}
