@@ -213,10 +213,25 @@ func BenchmarkBusTransaction(b *testing.B) {
 }
 
 // BenchmarkMachineCycle measures one whole-machine step of a 5-CPU
-// Firefly under load.
+// Firefly under load. Compare with BenchmarkMachineCycleTraced: the
+// difference is the total cost of the observability layer's nil checks,
+// which must stay in the noise.
 func BenchmarkMachineCycle(b *testing.B) {
 	m := machine.New(machine.MicroVAXConfig(5))
-	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.AttachSyntheticLoad(firefly.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
+	m.Warmup(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkMachineCycleTraced is the same machine with tracing enabled
+// into a ring buffer — the upper bound a live capture costs.
+func BenchmarkMachineCycleTraced(b *testing.B) {
+	m := machine.New(machine.MicroVAXConfig(5))
+	m.AttachSyntheticLoad(firefly.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
+	m.Trace(firefly.NewTraceRing(1 << 16))
 	m.Warmup(10_000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -7,16 +7,20 @@
 //	fireflysim -cpus 7 -protocol mesi -miss 0.15 -share 0.3
 //	fireflysim -cpus 4 -variant cvax -workload exerciser
 //	fireflysim -cpus 4 -workload make
+//	fireflysim -cpus 2 -seconds 0.001 -trace out.json -trace-format chrome
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"firefly"
 	"firefly/internal/machine"
+	"firefly/internal/obs"
 	"firefly/internal/topaz"
+	"firefly/internal/trace"
 	"firefly/internal/workload"
 )
 
@@ -32,6 +36,8 @@ func main() {
 	lineWords := flag.Int("linewords", 1, "cache line size in longwords (hardware: 1)")
 	cacheLines := flag.Int("cachelines", 0, "cache lines (0 = variant default)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write an event trace to this file")
+	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	flag.Parse()
 
 	var cfg machine.Config
@@ -44,9 +50,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fireflysim: unknown variant %q\n", *variant)
 		os.Exit(2)
 	}
-	proto := firefly.ProtocolByName(*protocol)
-	if proto == nil {
-		fmt.Fprintf(os.Stderr, "fireflysim: unknown protocol %q\n", *protocol)
+	proto, ok := firefly.ProtocolByName(*protocol)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fireflysim: unknown protocol %q (known: %s)\n",
+			*protocol, strings.Join(firefly.ProtocolNames(), ", "))
 		os.Exit(2)
 	}
 	cfg.Protocol = proto
@@ -57,11 +64,43 @@ func main() {
 	}
 	m := machine.New(cfg)
 
+	if *tracePath != "" {
+		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
+			fmt.Fprintf(os.Stderr, "fireflysim: unknown trace format %q (known: jsonl, chrome)\n", *traceFormat)
+			os.Exit(2)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(1)
+		}
+		var sink interface {
+			obs.Observer
+			Close() error
+		}
+		if *traceFormat == "jsonl" {
+			sink = obs.NewJSONL(f)
+		} else {
+			sink = obs.NewChrome(f)
+		}
+		m.Trace(sink)
+		defer func() {
+			if err := sink.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "fireflysim: closing trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
 	cyc := func(s float64) uint64 { return uint64(s * 1e7) }
 
 	switch *wl {
 	case "synthetic":
-		m.AttachSyntheticSources(*miss, *share, *share/2)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{
+			MissRate:           *miss,
+			ShareFraction:      *share,
+			SharedReadFraction: *share / 2,
+		})
 		m.Warmup(cyc(*warmup))
 		m.RunSeconds(*seconds)
 

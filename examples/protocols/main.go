@@ -27,7 +27,7 @@ func main() {
 			cfg := machine.MicroVAXConfig(4)
 			cfg.Protocol = proto
 			m := machine.New(cfg)
-			m.AttachSyntheticSources(0.15, s, s)
+			m.AttachSyntheticLoad(firefly.SyntheticLoad{MissRate: 0.15, ShareFraction: s, SharedReadFraction: s})
 			m.Warmup(100_000)
 			m.RunSeconds(0.01)
 			rep := m.Report()

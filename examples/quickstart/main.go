@@ -16,7 +16,7 @@ func main() {
 
 	// Drive each processor with the parameterized reference generator:
 	// 20% of references miss, 10% of writes touch shared data.
-	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.AttachSyntheticLoad(firefly.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
 
 	// Warm the caches, then measure 20 simulated milliseconds.
 	m.Warmup(200_000)

@@ -28,7 +28,11 @@
 // Typical use:
 //
 //	m := firefly.NewMicroVAX(5)          // a standard 5-CPU Firefly
-//	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+//	m.AttachSyntheticLoad(firefly.SyntheticLoad{
+//		MissRate:           0.2,
+//		ShareFraction:      0.1,
+//		SharedReadFraction: 0.05,
+//	})
 //	m.RunSeconds(0.01)
 //	fmt.Println(m.Report())
 //
@@ -41,13 +45,18 @@
 package firefly
 
 import (
+	"io"
+
 	"firefly/internal/coherence"
 	"firefly/internal/core"
 	"firefly/internal/cpu"
 	"firefly/internal/display"
 	"firefly/internal/machine"
 	"firefly/internal/model"
+	"firefly/internal/obs"
+	"firefly/internal/stats"
 	"firefly/internal/topaz"
+	"firefly/internal/trace"
 )
 
 // Machine is an assembled Firefly system: processors, caches, MBus,
@@ -109,8 +118,12 @@ func FireflyProtocol() Protocol { return core.Firefly{} }
 // invalidate).
 func Protocols() []Protocol { return coherence.All() }
 
-// ProtocolByName returns a protocol by its Name, or nil.
-func ProtocolByName(name string) Protocol { return coherence.ByName(name) }
+// ProtocolByName returns a protocol by its Name. The second result
+// reports whether the name is known.
+func ProtocolByName(name string) (Protocol, bool) { return coherence.ByName(name) }
+
+// ProtocolNames returns the known protocol names in suite order.
+func ProtocolNames() []string { return coherence.Names() }
 
 // MicroVAXModel returns the analytic model with the paper's MicroVAX
 // parameters; MicroVAXModel().Sweep(model.Table1NPs) regenerates Table 1.
@@ -123,3 +136,45 @@ func CVAXModel() ModelParams { return model.CVAX() }
 func Variants() []cpu.Variant {
 	return []cpu.Variant{cpu.MicroVAX78032(), cpu.CVAX78034()}
 }
+
+// Observability. Machine.Trace attaches sinks to a machine's event
+// stream; these aliases and constructors expose the internal/obs types
+// through the facade.
+
+// SyntheticLoad names the synthetic-workload parameters for
+// Machine.AttachSyntheticLoad.
+type SyntheticLoad = trace.SyntheticLoad
+
+// TraceEvent is one observability event (a bus grant, a cache state
+// transition, a scheduler dispatch, a DMA word, ...).
+type TraceEvent = obs.Event
+
+// TraceObserver consumes trace events; implementations include the ring
+// buffer and the JSONL and Chrome exporters.
+type TraceObserver = obs.Observer
+
+// Tracer fans events out to attached observers; install one with
+// MachineConfig.Tracer or Machine.Trace.
+type Tracer = obs.Tracer
+
+// TraceRing is a bounded in-memory event buffer that overwrites its
+// oldest events when full.
+type TraceRing = obs.Ring
+
+// NewTracer returns a tracer with the given sinks attached.
+func NewTracer(sinks ...TraceObserver) *Tracer { return obs.NewTracer(sinks...) }
+
+// NewTraceRing returns a ring buffer holding the last capacity events.
+func NewTraceRing(capacity int) *TraceRing { return obs.NewRing(capacity) }
+
+// NewJSONLExporter returns a sink writing one deterministic JSON object
+// per event. Close it to flush.
+func NewJSONLExporter(w io.Writer) *obs.JSONL { return obs.NewJSONL(w) }
+
+// NewChromeExporter returns a sink writing the Chrome trace_event
+// format (load in chrome://tracing or Perfetto), one track per
+// processor plus one for the bus. Close it to finish the JSON array.
+func NewChromeExporter(w io.Writer) *obs.Chrome { return obs.NewChrome(w) }
+
+// StatsRegistry is the named-counter registry behind Machine.Report.
+type StatsRegistry = stats.Registry

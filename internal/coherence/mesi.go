@@ -105,12 +105,25 @@ func All() []core.Protocol {
 	}
 }
 
-// ByName returns the protocol with the given Name, or nil.
-func ByName(name string) core.Protocol {
+// ByName returns the protocol with the given Name. The second result
+// reports whether the name is known; callers must check it rather than
+// rely on a sentinel.
+func ByName(name string) (core.Protocol, bool) {
 	for _, p := range All() {
 		if p.Name() == name {
-			return p
+			return p, true
 		}
 	}
-	return nil
+	return nil, false
+}
+
+// Names returns the protocol names in suite order, for error messages
+// and command-line help.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, p := range all {
+		out[i] = p.Name()
+	}
+	return out
 }

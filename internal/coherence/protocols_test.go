@@ -411,12 +411,22 @@ func TestAllAndByName(t *testing.T) {
 			t.Fatalf("duplicate protocol name %q", p.Name())
 		}
 		seen[p.Name()] = true
-		if ByName(p.Name()) == nil {
-			t.Fatalf("ByName(%q) = nil", p.Name())
+		got, ok := ByName(p.Name())
+		if !ok || got == nil {
+			t.Fatalf("ByName(%q) not found", p.Name())
 		}
 	}
-	if ByName("nope") != nil {
-		t.Fatal("ByName of unknown protocol returned non-nil")
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName of unknown protocol reported found")
+	}
+	names := Names()
+	if len(names) != len(ps) {
+		t.Fatalf("Names() returned %d entries, want %d", len(names), len(ps))
+	}
+	for i, p := range ps {
+		if names[i] != p.Name() {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], p.Name())
+		}
 	}
 }
 

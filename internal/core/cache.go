@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 )
 
@@ -140,6 +141,11 @@ type Cache struct {
 	// full bus-operation time (the model's N ticks per MBus operation).
 	doneAt sim.Cycle
 
+	// tracer is the observability stream (nil = disabled); unit is this
+	// cache's processor index in emitted events.
+	tracer *obs.Tracer
+	unit   int32
+
 	stats Stats
 }
 
@@ -185,6 +191,45 @@ func NewMicroVAXCache(clock *sim.Clock, proto Protocol) *Cache {
 // NewCVAXCache returns the 64 KB second-version cache.
 func NewCVAXCache(clock *sim.Clock, proto Protocol) *Cache {
 	return NewCache(clock, proto, CVAXLines)
+}
+
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// unit is the processor index used in emitted events. The cache emits
+// hit/miss events per CPU reference, a state event for every Figure 3
+// arc a line traverses, and completion events for conditional
+// write-throughs and victim write-backs.
+func (c *Cache) SetTracer(tr *obs.Tracer, unit int) {
+	c.tracer = tr
+	c.unit = int32(unit)
+}
+
+// setState applies a coherence state change, emitting the Figure 3 arc
+// when tracing. Every assignment to states[] funnels through here.
+func (c *Cache) setState(idx int, next State) {
+	if c.tracer != nil && c.states[idx] != next {
+		c.tracer.Emit(obs.Event{
+			Cycle: uint64(c.clock.Now()),
+			Kind:  obs.KindCacheState,
+			Unit:  c.unit,
+			Addr:  uint32(c.tags[idx]),
+			A:     uint64(c.states[idx]),
+			B:     uint64(next),
+			Label: next.String(),
+		})
+	}
+	c.states[idx] = next
+}
+
+// emit sends a simple addr-carrying event when tracing.
+func (c *Cache) emit(kind obs.Kind, addr mbus.Addr, a, b uint64) {
+	c.tracer.Emit(obs.Event{
+		Cycle: uint64(c.clock.Now()),
+		Kind:  kind,
+		Unit:  c.unit,
+		Addr:  uint32(addr),
+		A:     a,
+		B:     b,
+	})
 }
 
 // Protocol returns the coherence protocol the cache runs.
@@ -353,16 +398,22 @@ func (c *Cache) begin() bool {
 	if hit {
 		if !acc.Write {
 			c.stats.ReadHits++
+			if c.tracer != nil {
+				c.emit(obs.KindCacheReadHit, acc.Addr, 0, 0)
+			}
 			c.lastRead = *c.word(idx, acc.Addr)
 			c.phase = seqIdle
 			return true
 		}
 		c.stats.WriteHits++
+		if c.tracer != nil {
+			c.emit(obs.KindCacheWriteHit, acc.Addr, 0, 0)
+		}
 		op, needBus := c.proto.WriteHitOp(c.states[idx])
 		if !needBus {
 			c.stats.LocalWriteHits++
 			*c.word(idx, acc.Addr) = acc.Data
-			c.states[idx] = c.proto.AfterWriteHit(c.states[idx], false, false)
+			c.setState(idx, c.proto.AfterWriteHit(c.states[idx], false, false))
 			c.phase = seqIdle
 			return true
 		}
@@ -379,8 +430,14 @@ func (c *Cache) begin() bool {
 	// Miss.
 	if acc.Write {
 		c.stats.WriteMisses++
+		if c.tracer != nil {
+			c.emit(obs.KindCacheWriteMiss, acc.Addr, 0, 0)
+		}
 	} else {
 		c.stats.ReadMisses++
+		if c.tracer != nil {
+			c.emit(obs.KindCacheReadMiss, acc.Addr, 0, 0)
+		}
 	}
 	if c.states[idx].Valid() && c.proto.NeedsWriteBack(c.states[idx]) {
 		c.phase = seqVictim
@@ -458,8 +515,11 @@ func (c *Cache) BusComplete(res mbus.Result) {
 			return
 		}
 		c.stats.VictimWrites++
+		if c.tracer != nil {
+			c.emit(obs.KindCacheWriteBack, c.victimBase, uint64(c.lineWords), 0)
+		}
 		// The victim slot is now reusable; the line is logically gone.
-		c.states[c.accIdx] = Invalid
+		c.setState(c.accIdx, Invalid)
 		c.startMissOps()
 
 	case seqFill:
@@ -475,7 +535,7 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		idx := c.accIdx
 		c.tags[idx] = c.lineBase(c.acc.Addr)
 		copy(c.data[idx*c.lineWords:(idx+1)*c.lineWords], c.fillBuf)
-		c.states[idx] = c.proto.AfterFill(c.acc.Write, c.fillShared)
+		c.setState(idx, c.proto.AfterFill(c.acc.Write, c.fillShared))
 		if !c.acc.Write {
 			c.lastRead = *c.word(idx, c.acc.Addr)
 			c.finish()
@@ -485,7 +545,7 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		op, needBus := c.proto.WriteHitOp(c.states[idx])
 		if !needBus {
 			*c.word(idx, c.acc.Addr) = c.acc.Data
-			c.states[idx] = c.proto.AfterWriteHit(c.states[idx], false, false)
+			c.setState(idx, c.proto.AfterWriteHit(c.states[idx], false, false))
 			c.finish()
 			return
 		}
@@ -503,11 +563,14 @@ func (c *Cache) BusComplete(res mbus.Result) {
 			} else {
 				c.stats.WriteThroughClean++
 			}
+			if c.tracer != nil {
+				c.emit(obs.KindCacheWriteThrough, c.acc.Addr, 0, boolArg(res.Shared))
+			}
 		case mbus.MInv:
 			c.stats.Invalidations++
 		}
 		*c.word(idx, c.acc.Addr) = c.acc.Data
-		c.states[idx] = c.proto.AfterWriteHit(c.states[idx], true, res.Shared)
+		c.setState(idx, c.proto.AfterWriteHit(c.states[idx], true, res.Shared))
 		c.finish()
 
 	case seqDirectWrite:
@@ -517,10 +580,15 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		} else {
 			c.stats.WriteThroughClean++
 		}
+		if c.tracer != nil {
+			// The Firefly longword optimization: the miss completed as a
+			// single write-through with no fill.
+			c.emit(obs.KindCacheWriteThrough, c.acc.Addr, 1, boolArg(res.Shared))
+		}
 		idx := c.accIdx
 		c.tags[idx] = c.lineBase(c.acc.Addr)
 		*c.word(idx, c.acc.Addr) = c.acc.Data
-		c.states[idx] = c.proto.AfterDirectWriteMiss(res.Shared)
+		c.setState(idx, c.proto.AfterDirectWriteMiss(res.Shared))
 		c.finish()
 
 	default:
@@ -586,7 +654,15 @@ func (c *Cache) SnoopCommit(op mbus.OpKind, addr mbus.Addr, data uint32, shared 
 	if !action.Next.Valid() && c.states[idx].Valid() {
 		c.stats.SnoopInvals++
 	}
-	c.states[idx] = action.Next
+	c.setState(idx, action.Next)
+}
+
+// boolArg converts a flag to an event argument.
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // AddStall lets the CPU charge stall cycles it spent waiting on this

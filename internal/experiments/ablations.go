@@ -42,7 +42,7 @@ func ProtocolComparison(budget Budget) Outcome {
 			cfg := machine.MicroVAXConfig(nproc)
 			cfg.Protocol = proto
 			m := machine.New(cfg)
-			m.AttachSyntheticSources(0.15, s, s)
+			m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.15, ShareFraction: s, SharedReadFraction: s})
 			m.Warmup(cycles / 5)
 			m.Run(cycles)
 			rep := m.Report()
@@ -135,7 +135,7 @@ func CVAXSpeedup(budget Budget) Outcome {
 
 	measure := func(cfg machine.Config, miss float64) (instrPerSec float64, loadPerCPU float64) {
 		m := machine.New(cfg)
-		m.AttachSyntheticSources(miss, 0.1, 0.05)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: miss, ShareFraction: 0.1, SharedReadFraction: 0.05})
 		m.Warmup(cycles / 5)
 		m.Run(cycles)
 		rep := m.Report()
@@ -201,7 +201,7 @@ func QBusLoad(budget Budget) Outcome {
 
 	run := func(flood bool) (load float64, cpuRate float64) {
 		m := machine.New(machine.MicroVAXConfig(1))
-		m.AttachSyntheticSources(0.2, 0, 0)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0, SharedReadFraction: 0})
 		maps := &qbus.MapRegisters{}
 		engine := qbus.NewEngine(m.Clock(), m.Bus(), maps, 0)
 		m.AddDevice(engine)
@@ -351,7 +351,7 @@ func OnChipDataAblation(budget Budget) Outcome {
 		v.OnChipDCache = dcache
 		cfg.Variant = v
 		m := machine.New(cfg)
-		m.AttachSyntheticSources(0.05, 0.1, 0.05)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.05, ShareFraction: 0.1, SharedReadFraction: 0.05})
 		m.Warmup(cycles / 5)
 		m.Run(cycles)
 		rep := m.Report()

@@ -7,6 +7,7 @@ import (
 	"firefly/internal/core"
 	"firefly/internal/machine"
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
 )
 
 // Figure3 renders the Firefly cache line state diagram as a transition
@@ -77,9 +78,10 @@ func (r *figure3Rig) write(i int, addr mbus.Addr, data uint32) {
 	r.drive(i, core.Access{Write: true, Addr: addr, Data: data})
 }
 
-// Figure4 traces the MBus cycle by cycle through an MRead that finds the
-// line in another cache and an MWrite (conditional write-through),
-// rendering the four-phase timing of the paper's Figure 4.
+// Figure4 traces the MBus through an MRead that finds the line in
+// another cache and an MWrite (conditional write-through), rendering the
+// four-phase timing of the paper's Figure 4 from the observability
+// event stream.
 func Figure4(Budget) Outcome {
 	m := machine.New(machine.MicroVAXConfig(2))
 	for _, p := range m.Processors() {
@@ -90,20 +92,14 @@ func Figure4(Budget) Outcome {
 	r.write(1, 0x200, 1)
 	r.write(1, 0x200, 42)
 
-	m.Bus().SetTracing(true)
+	ring := obs.NewRing(64)
+	m.Trace(ring)
 	r.read(0, 0x200)     // MRead: MShared asserted, cache 1 supplies
 	r.write(0, 0x200, 7) // MWrite: conditional write-through, update
 
 	var b strings.Builder
 	b.WriteString("MBus timing (100 ns cycles; one operation = 4 cycles):\n\n")
-	b.WriteString(fmt.Sprintf("  %-8s %-6s %-9s %-10s %s\n", "cycle", "phase", "op", "addr", "activity"))
-	for _, e := range m.Bus().Trace() {
-		if e.Phase == 0 {
-			continue
-		}
-		fmt.Fprintf(&b, "  %-8d %-6d %-9s %-10s %s\n",
-			uint64(e.Cycle), e.Phase, e.Op, e.Addr, e.Note)
-	}
+	b.WriteString(RenderBusTiming(ring.Events()))
 	b.WriteString(`
 Phase 1: arbitration, address and operation driven by the winner.
 Phase 2: write data (MWrite); all other caches probe their tag stores.
@@ -112,4 +108,72 @@ Phase 4: read data — from the holding caches when MShared (memory
          inhibited), from the storage modules otherwise.
 `)
 	return Outcome{ID: "figure4", Title: "MBus Timing", Text: b.String()}
+}
+
+// RenderBusTiming reconstructs the per-cycle Figure 4 table from bus
+// trace events. Each completed operation occupies four consecutive
+// cycles: grant (phase 1) through data (phase 4); the grant and
+// completion events pin the span and the MShared event marks phase 3.
+func RenderBusTiming(events []obs.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-8s %-6s %-9s %-10s %s\n", "cycle", "phase", "op", "addr", "activity")
+	type busOp struct {
+		grant  uint64
+		port   int32
+		op     mbus.OpKind
+		addr   mbus.Addr
+		shared bool
+	}
+	var cur *busOp
+	flush := func(o *busOp) {
+		if o == nil {
+			return
+		}
+		op := o.op
+		addr := o.addr.String()
+		phase2 := "tag probe in every other cache"
+		if op.CarriesData() {
+			phase2 = "write data driven; tag probe in every other cache"
+		}
+		phase3 := "MShared not asserted"
+		if o.shared {
+			phase3 = "MShared asserted (wired-OR)"
+		}
+		var phase4 string
+		switch {
+		case op == mbus.MRead && o.shared:
+			phase4 = "data supplied by holding cache (memory inhibited)"
+		case op == mbus.MRead:
+			phase4 = "data supplied by storage module"
+		case o.shared:
+			phase4 = "memory and sharing caches take the data"
+		default:
+			phase4 = "memory takes the data"
+		}
+		for p, act := range []string{
+			fmt.Sprintf("arbitrate+address (port %d wins)", o.port),
+			phase2, phase3, phase4,
+		} {
+			fmt.Fprintf(&b, "  %-8d %-6d %-9s %-10s %s\n", o.grant+uint64(p), p+1, op, addr, act)
+		}
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindBusGrant:
+			flush(cur)
+			cur = &busOp{grant: e.Cycle, port: e.Unit, op: mbus.OpKind(e.A), addr: mbus.Addr(e.Addr)}
+		case obs.KindBusShared:
+			if cur != nil {
+				cur.shared = true
+			}
+		case obs.KindBusOp:
+			if cur != nil {
+				cur.shared = e.B != 0
+			}
+			flush(cur)
+			cur = nil
+		}
+	}
+	flush(cur)
+	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"firefly/internal/machine"
 	"firefly/internal/model"
 	"firefly/internal/stats"
+	"firefly/internal/trace"
 )
 
 // Table1 regenerates the paper's Table 1 from the §5.2 queuing model.
@@ -37,7 +38,7 @@ type Table1SimPoint struct {
 // parameters (M=0.2, S=0.1) and measures the Table 1 quantities.
 func SimulateTable1Point(np int, cycles uint64) Table1SimPoint {
 	m := machine.New(machine.MicroVAXConfig(np))
-	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
 	m.Warmup(cycles / 5)
 	m.Run(cycles)
 	rep := m.Report()

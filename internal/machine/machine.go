@@ -7,12 +7,15 @@ package machine
 
 import (
 	"fmt"
+	"strings"
 
 	"firefly/internal/core"
 	"firefly/internal/cpu"
 	"firefly/internal/mbus"
 	"firefly/internal/memory"
+	"firefly/internal/obs"
 	"firefly/internal/sim"
+	"firefly/internal/stats"
 	"firefly/internal/trace"
 )
 
@@ -42,6 +45,11 @@ type Config struct {
 	Arbitration mbus.Arbitration
 	// Seed drives every random stream in the machine.
 	Seed uint64
+	// Tracer, when non-nil, receives observability events from the bus,
+	// the caches, the scheduler, and DMA engines. Nil (the default) keeps
+	// every emission site on a single pointer test. Tracing can also be
+	// enabled after construction with Machine.Trace.
+	Tracer *obs.Tracer
 }
 
 // MicroVAXConfig returns the original Firefly with n processors.
@@ -120,6 +128,8 @@ type Machine struct {
 	cpus    []*cpu.Processor
 	caches  []*core.Cache
 	devices []Stepper
+	tracer  *obs.Tracer
+	reg     *stats.Registry
 }
 
 // New builds a machine. Reference sources start nil; attach them with
@@ -143,7 +153,102 @@ func New(cfg Config) *Machine {
 		m.caches = append(m.caches, cache)
 		m.cpus = append(m.cpus, p)
 	}
+	if cfg.Tracer != nil {
+		m.installTracer(cfg.Tracer)
+	}
+	m.buildRegistry()
 	return m
+}
+
+// installTracer points every emission site at tr.
+func (m *Machine) installTracer(tr *obs.Tracer) {
+	m.tracer = tr
+	m.bus.SetTracer(tr)
+	for i, c := range m.caches {
+		c.SetTracer(tr, i)
+	}
+	// Scheduler and DMA engines read the tracer lazily through
+	// Machine.Tracer / Bus.Tracer, so nothing more to wire.
+}
+
+// Tracer returns the installed tracer, or nil when tracing is off.
+func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
+
+// Trace enables tracing on a running machine, creating the tracer on
+// first use and attaching the given sinks. It returns the tracer so
+// callers can attach more sinks or read the event count.
+func (m *Machine) Trace(sinks ...obs.Observer) *obs.Tracer {
+	if m.tracer == nil {
+		m.installTracer(obs.NewTracer())
+	}
+	for _, s := range sinks {
+		m.tracer.Attach(s)
+	}
+	return m.tracer
+}
+
+// Registry returns the machine's statistics registry: every counter the
+// machine maintains, by name. Report is a derived view of this registry.
+func (m *Machine) Registry() *stats.Registry { return m.reg }
+
+// opKinds enumerates the bus operation kinds for registry naming.
+var opKinds = []mbus.OpKind{mbus.MRead, mbus.MWrite, mbus.MReadOwn, mbus.MUpdate, mbus.MInv}
+
+// buildRegistry names every counter in the machine. Getters read the
+// live component state, so a snapshot is always current and ResetStats
+// needs no registry cooperation.
+func (m *Machine) buildRegistry() {
+	r := stats.NewRegistry()
+	bus := m.bus
+	r.Register("bus.cycles", func() uint64 { return bus.Stats().Cycles })
+	r.Register("bus.busy_cycles", func() uint64 { return bus.Stats().BusyCycles })
+	r.Register("bus.shared_hits", func() uint64 { return bus.Stats().SharedHits })
+	r.Register("bus.wait_cycles", func() uint64 { return bus.Stats().WaitCycles })
+	r.Register("bus.ops.total", func() uint64 { return bus.Stats().TotalOps() })
+	for _, k := range opKinds {
+		k := k
+		r.Register("bus.ops."+strings.ToLower(k.String()), func() uint64 {
+			return bus.Stats().Ops[k]
+		})
+	}
+	for i := range m.cpus {
+		p := m.cpus[i]
+		pre := fmt.Sprintf("cpu%d.", i)
+		r.Register(pre+"instructions", func() uint64 { return p.Stats().Instructions })
+		r.Register(pre+"ticks", func() uint64 { return p.Stats().Ticks })
+		r.Register(pre+"stall_ticks", func() uint64 { return p.Stats().StallTicks })
+		r.Register(pre+"probe_stalls", func() uint64 { return p.Stats().ProbeStalls })
+		r.Register(pre+"reads", func() uint64 { return p.Stats().Reads })
+		r.Register(pre+"writes", func() uint64 { return p.Stats().Writes })
+		r.Register(pre+"onchip_hits", func() uint64 { return p.Stats().OnChipHits })
+		r.Register(pre+"interrupts", func() uint64 { return p.Stats().Interrupts })
+	}
+	for i := range m.caches {
+		c := m.caches[i]
+		pre := fmt.Sprintf("cache%d.", i)
+		r.Register(pre+"reads", func() uint64 { return c.Stats().Reads })
+		r.Register(pre+"writes", func() uint64 { return c.Stats().Writes })
+		r.Register(pre+"read_hits", func() uint64 { return c.Stats().ReadHits })
+		r.Register(pre+"write_hits", func() uint64 { return c.Stats().WriteHits })
+		r.Register(pre+"local_write_hits", func() uint64 { return c.Stats().LocalWriteHits })
+		r.Register(pre+"read_misses", func() uint64 { return c.Stats().ReadMisses })
+		r.Register(pre+"write_misses", func() uint64 { return c.Stats().WriteMisses })
+		r.Register(pre+"fills", func() uint64 { return c.Stats().Fills })
+		r.Register(pre+"fill_ops", func() uint64 { return c.Stats().FillOps })
+		r.Register(pre+"victim_ops", func() uint64 { return c.Stats().VictimOps })
+		r.Register(pre+"direct_write_misses", func() uint64 { return c.Stats().DirectWriteMisses })
+		r.Register(pre+"victim_writes", func() uint64 { return c.Stats().VictimWrites })
+		r.Register(pre+"write_through_shared", func() uint64 { return c.Stats().WriteThroughShared })
+		r.Register(pre+"write_through_clean", func() uint64 { return c.Stats().WriteThroughClean })
+		r.Register(pre+"invalidations", func() uint64 { return c.Stats().Invalidations })
+		r.Register(pre+"snoop_probes", func() uint64 { return c.Stats().SnoopProbes })
+		r.Register(pre+"snoop_hits", func() uint64 { return c.Stats().SnoopHits })
+		r.Register(pre+"snoop_supplies", func() uint64 { return c.Stats().SnoopSupplies })
+		r.Register(pre+"snoop_takes", func() uint64 { return c.Stats().SnoopTakes })
+		r.Register(pre+"snoop_invals", func() uint64 { return c.Stats().SnoopInvals })
+		r.Register(pre+"stall_cycles", func() uint64 { return c.Stats().StallCycles })
+	}
+	m.reg = r
 }
 
 // Config returns the machine's (defaulted) configuration.
@@ -178,21 +283,36 @@ func (m *Machine) AttachSources(mk func(i int, c *core.Cache) trace.Source) {
 	}
 }
 
-// AttachSyntheticSources installs the parameterized generator on every
+// AttachSyntheticLoad installs the parameterized generator on every
 // processor: the machine-level analogue of the paper's trace
 // characterization (M, S as given; D emerges from the write mix).
-func (m *Machine) AttachSyntheticSources(missRate, shareFraction, sharedReadFraction float64) {
+func (m *Machine) AttachSyntheticLoad(load trace.SyntheticLoad) {
+	if err := load.Validate(); err != nil {
+		panic(err)
+	}
 	shared := trace.NewSharedRegion(0x8000, 64)
 	privateBytes := uint32(1 << 19) // 512 KB per CPU: far larger than the cache
 	m.AttachSources(func(i int, c *core.Cache) trace.Source {
 		return trace.NewSynthetic(trace.SyntheticConfig{
-			MissRate:           missRate,
-			ShareFraction:      shareFraction,
-			SharedReadFraction: sharedReadFraction,
+			MissRate:           load.MissRate,
+			ShareFraction:      load.ShareFraction,
+			SharedReadFraction: load.SharedReadFraction,
 			PrivateBase:        mbus.Addr(0x100000 + uint32(i)*privateBytes),
 			PrivateBytes:       privateBytes,
 			Seed:               m.cfg.Seed*31 + uint64(i),
 		}, shared, c)
+	})
+}
+
+// AttachSyntheticSources is the old positional form of AttachSyntheticLoad.
+//
+// Deprecated: use AttachSyntheticLoad, whose named fields make the call
+// sites self-describing.
+func (m *Machine) AttachSyntheticSources(missRate, shareFraction, sharedReadFraction float64) {
+	m.AttachSyntheticLoad(trace.SyntheticLoad{
+		MissRate:           missRate,
+		ShareFraction:      shareFraction,
+		SharedReadFraction: sharedReadFraction,
 	})
 }
 

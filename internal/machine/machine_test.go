@@ -10,6 +10,7 @@ import (
 	"firefly/internal/cpu"
 	"firefly/internal/mbus"
 	"firefly/internal/model"
+	"firefly/internal/trace"
 )
 
 func TestConfigDefaults(t *testing.T) {
@@ -46,7 +47,7 @@ func TestConfigValidation(t *testing.T) {
 
 func TestRunSecondsAdvancesClock(t *testing.T) {
 	m := New(MicroVAXConfig(1))
-	m.AttachSyntheticSources(0.2, 0, 0)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0, SharedReadFraction: 0})
 	m.RunSeconds(0.001)
 	if got := m.Clock().Now().Seconds(); math.Abs(got-0.001) > 1e-9 {
 		t.Fatalf("clock at %v s, want 0.001", got)
@@ -55,7 +56,7 @@ func TestRunSecondsAdvancesClock(t *testing.T) {
 
 func TestWarmupClearsStats(t *testing.T) {
 	m := New(MicroVAXConfig(2))
-	m.AttachSyntheticSources(0.2, 0.1, 0.1)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.1})
 	m.Warmup(10_000)
 	if m.Bus().Stats().TotalOps() != 0 {
 		t.Fatal("warmup left bus stats")
@@ -73,7 +74,7 @@ func TestWarmupClearsStats(t *testing.T) {
 // using the model's exact M.
 func TestSingleCPURateNearModel(t *testing.T) {
 	m := New(MicroVAXConfig(1))
-	m.AttachSyntheticSources(0.2, 0, 0)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0, SharedReadFraction: 0})
 	m.Warmup(200_000)
 	m.RunSeconds(0.02)
 	rep := m.Report()
@@ -94,7 +95,7 @@ func TestSingleCPURateNearModel(t *testing.T) {
 // model's prediction of ~0.4.
 func TestFiveCPULoadNearModel(t *testing.T) {
 	m := New(MicroVAXConfig(5))
-	m.AttachSyntheticSources(0.2, 0.1, 0.05)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
 	m.Warmup(200_000)
 	m.RunSeconds(0.02)
 	rep := m.Report()
@@ -107,7 +108,7 @@ func TestFiveCPULoadNearModel(t *testing.T) {
 func TestMoreProcessorsMoreLoadLessPerCPU(t *testing.T) {
 	run := func(n int) (load, perCPU float64) {
 		m := New(MicroVAXConfig(n))
-		m.AttachSyntheticSources(0.2, 0.1, 0.05)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
 		m.Warmup(100_000)
 		m.RunSeconds(0.01)
 		rep := m.Report()
@@ -125,7 +126,7 @@ func TestMoreProcessorsMoreLoadLessPerCPU(t *testing.T) {
 
 func TestReportConsistency(t *testing.T) {
 	m := New(MicroVAXConfig(3))
-	m.AttachSyntheticSources(0.2, 0.1, 0.1)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.1})
 	m.Warmup(50_000)
 	m.RunSeconds(0.005)
 	rep := m.Report()
@@ -165,7 +166,7 @@ func TestMeanCPUEmptyReport(t *testing.T) {
 
 func TestSharingProducesMSharedTraffic(t *testing.T) {
 	m := New(MicroVAXConfig(4))
-	m.AttachSyntheticSources(0.1, 0.3, 0.3)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.1, ShareFraction: 0.3, SharedReadFraction: 0.3})
 	m.Warmup(100_000)
 	m.RunSeconds(0.01)
 	mean := m.Report().MeanCPU()
@@ -183,7 +184,7 @@ func TestSharingProducesMSharedTraffic(t *testing.T) {
 
 func TestNoSharingNoMSharedWrites(t *testing.T) {
 	m := New(MicroVAXConfig(2))
-	m.AttachSyntheticSources(0.2, 0, 0)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0, SharedReadFraction: 0})
 	m.Warmup(50_000)
 	m.RunSeconds(0.005)
 	mean := m.Report().MeanCPU()
@@ -201,7 +202,7 @@ func TestBaselineProtocolMachines(t *testing.T) {
 			cfg := MicroVAXConfig(3)
 			cfg.Protocol = proto
 			m := New(cfg)
-			m.AttachSyntheticSources(0.2, 0.2, 0.2)
+			m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.2, SharedReadFraction: 0.2})
 			m.Warmup(50_000)
 			m.RunSeconds(0.005)
 			rep := m.Report()
@@ -220,7 +221,7 @@ func TestWTISaturatesBusFirst(t *testing.T) {
 		cfg := MicroVAXConfig(4)
 		cfg.Protocol = proto
 		m := New(cfg)
-		m.AttachSyntheticSources(0.1, 0.1, 0.1)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.1, ShareFraction: 0.1, SharedReadFraction: 0.1})
 		m.Warmup(50_000)
 		m.RunSeconds(0.005)
 		return m.Report().BusLoad
@@ -235,7 +236,7 @@ func TestWTISaturatesBusFirst(t *testing.T) {
 func TestDeterministicRuns(t *testing.T) {
 	run := func() Report {
 		m := New(MicroVAXConfig(3))
-		m.AttachSyntheticSources(0.2, 0.1, 0.1)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.1})
 		m.Run(100_000)
 		return m.Report()
 	}
@@ -249,7 +250,7 @@ func TestBusOpsByKind(t *testing.T) {
 	cfg := MicroVAXConfig(2)
 	cfg.Protocol = coherence.MESI{}
 	m := New(cfg)
-	m.AttachSyntheticSources(0.2, 0.3, 0.3)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.3, SharedReadFraction: 0.3})
 	m.Run(100_000)
 	ops := m.BusOpsByKind()
 	if ops[mbus.MRead] == 0 {
@@ -267,7 +268,7 @@ func TestMultiWordLineMachine(t *testing.T) {
 	if m.Cache(0).LineWords() != 4 {
 		t.Fatalf("line words = %d", m.Cache(0).LineWords())
 	}
-	m.AttachSyntheticSources(0.1, 0.1, 0.1)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.1, ShareFraction: 0.1, SharedReadFraction: 0.1})
 	m.Warmup(50_000)
 	m.RunSeconds(0.005)
 	rep := m.Report()
@@ -283,7 +284,7 @@ func TestMultiWordLineMachine(t *testing.T) {
 
 func TestDeviceStepping(t *testing.T) {
 	m := New(MicroVAXConfig(1))
-	m.AttachSyntheticSources(0.1, 0, 0)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.1, ShareFraction: 0, SharedReadFraction: 0})
 	count := 0
 	m.AddDevice(stepFunc(func() { count++ }))
 	m.Run(500)
@@ -298,7 +299,7 @@ func (f stepFunc) Step() { f() }
 
 func TestCVAXMachineRuns(t *testing.T) {
 	m := New(CVAXConfig(4))
-	m.AttachSyntheticSources(0.05, 0.1, 0.1)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.05, ShareFraction: 0.1, SharedReadFraction: 0.1})
 	m.Warmup(50_000)
 	m.RunSeconds(0.005)
 	rep := m.Report()

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"firefly/internal/mbus"
+	"firefly/internal/stats"
 )
 
 // CPUReport summarizes one processor's activity over a measurement
@@ -36,35 +37,39 @@ type Report struct {
 }
 
 // Report computes rates over the interval since the last ResetStats (or
-// machine construction).
+// machine construction). Every value is a view over the machine's
+// statistics registry (see Registry); DirtyFraction alone is a gauge over
+// live line states rather than a named counter.
 func (m *Machine) Report() Report {
-	busStats := m.bus.Stats()
-	secs := float64(busStats.Cycles) * 100e-9
+	reg := m.reg
+	cycles := reg.MustValue("bus.cycles")
+	secs := float64(cycles) * 100e-9
 	r := Report{
 		Processors: len(m.cpus),
 		Seconds:    secs,
-		BusLoad:    busStats.Load(),
+		BusLoad:    stats.Ratio(reg.MustValue("bus.busy_cycles"), cycles),
 	}
 	if secs == 0 {
 		return r
 	}
-	r.MBusTotal = float64(busStats.TotalOps()) / secs
-	for i, p := range m.cpus {
-		pst := p.Stats()
-		cst := m.caches[i].Stats()
+	r.MBusTotal = float64(reg.MustValue("bus.ops.total")) / secs
+	for i := range m.cpus {
+		cp := func(name string) uint64 { return reg.MustValue(fmt.Sprintf("cpu%d.%s", i, name)) }
+		cc := func(name string) uint64 { return reg.MustValue(fmt.Sprintf("cache%d.%s", i, name)) }
+		reads, writes := cp("reads"), cp("writes")
 		cr := CPUReport{
-			Instructions:     pst.Instructions,
-			TPI:              pst.TPI(),
-			Reads:            float64(pst.Reads) / secs,
-			Writes:           float64(pst.Writes) / secs,
-			Total:            float64(pst.Refs()) / secs,
-			MissRate:         cst.MissRate(),
+			Instructions:     cp("instructions"),
+			TPI:              stats.Ratio(cp("ticks"), cp("instructions")),
+			Reads:            float64(reads) / secs,
+			Writes:           float64(writes) / secs,
+			Total:            float64(reads+writes) / secs,
+			MissRate:         stats.Ratio(cc("read_misses")+cc("write_misses"), cc("reads")+cc("writes")),
 			DirtyFraction:    m.caches[i].DirtyFraction(),
-			MBusReads:        float64(cst.FillOps) / secs,
-			MBusWritesShared: float64(cst.WriteThroughShared) / secs,
-			MBusWritesClean:  float64(cst.WriteThroughClean) / secs,
-			MBusVictims:      float64(cst.VictimWrites) / secs,
-			ProbeStalls:      pst.ProbeStalls,
+			MBusReads:        float64(cc("fill_ops")) / secs,
+			MBusWritesShared: float64(cc("write_through_shared")) / secs,
+			MBusWritesClean:  float64(cc("write_through_clean")) / secs,
+			MBusVictims:      float64(cc("victim_writes")) / secs,
+			ProbeStalls:      cp("probe_stalls"),
 		}
 		r.PerCPU = append(r.PerCPU, cr)
 	}

@@ -7,6 +7,7 @@ import (
 	"firefly/internal/mbus"
 	"firefly/internal/qbus"
 	"firefly/internal/sim"
+	"firefly/internal/trace"
 )
 
 // TestDMACoherenceSoak floods a running multiprocessor with DMA traffic —
@@ -21,7 +22,7 @@ func TestDMACoherenceSoak(t *testing.T) {
 			cfg := MicroVAXConfig(4)
 			cfg.LineWords = lineWords
 			m := New(cfg)
-			m.AttachSyntheticSources(0.2, 0.2, 0.2)
+			m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.2, SharedReadFraction: 0.2})
 
 			maps := &qbus.MapRegisters{}
 			engine := qbus.NewEngine(m.Clock(), m.Bus(), maps, 4)

@@ -23,6 +23,7 @@ package mbus
 import (
 	"fmt"
 
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 )
 
@@ -226,17 +227,6 @@ func (s Stats) Load() float64 {
 	return float64(s.BusyCycles) / float64(s.Cycles)
 }
 
-// TraceEntry records one cycle of bus activity for the Figure 4 harness.
-type TraceEntry struct {
-	Cycle  sim.Cycle
-	Phase  int // 1..4, or 0 for idle
-	Op     OpKind
-	Addr   Addr
-	Port   int
-	Shared bool
-	Note   string
-}
-
 // Bus is the MBus. It is stepped once per 100 ns cycle by the machine's
 // run loop; it is not safe for concurrent use (the hardware wasn't either).
 type Bus struct {
@@ -259,8 +249,7 @@ type Bus struct {
 
 	stats Stats
 
-	trace   []TraceEntry
-	tracing bool
+	tracer *obs.Tracer
 }
 
 // New returns an empty bus on the given clock.
@@ -303,16 +292,17 @@ func (b *Bus) ResetStats() {
 	b.stats = Stats{PerPort: per}
 }
 
-// SetTracing enables or disables per-cycle trace capture.
-func (b *Bus) SetTracing(on bool) {
-	b.tracing = on
-	if !on {
-		b.trace = nil
-	}
-}
+// SetTracer installs (or, with nil, removes) the observability tracer.
+// The bus emits obs.KindBusGrant when arbitration is won, obs.KindBusShared
+// when the wired-OR MShared line resolves asserted, and obs.KindBusOp when
+// an operation completes — the three externally visible signals of the
+// Figure 4 timing.
+func (b *Bus) SetTracer(tr *obs.Tracer) { b.tracer = tr }
 
-// Trace returns the captured trace entries.
-func (b *Bus) Trace() []TraceEntry { return b.trace }
+// Tracer returns the installed tracer (nil when tracing is disabled).
+// Attached engines read it lazily so tracing enabled after attachment
+// still covers them.
+func (b *Bus) Tracer() *obs.Tracer { return b.tracer }
 
 // Busy reports whether an operation is in flight.
 func (b *Bus) Busy() bool { return b.active }
@@ -337,7 +327,6 @@ func (b *Bus) Step() {
 	if !b.active {
 		b.arbitrate()
 		if !b.active {
-			b.traceCycle(0, "idle")
 			return
 		}
 		// Arbitration and address transmission share the first cycle.
@@ -345,24 +334,13 @@ func (b *Bus) Step() {
 	b.stats.BusyCycles++
 	switch b.phase {
 	case 1:
-		b.traceCycle(1, "arbitrate+address")
+		// Address and operation are on the bus; nothing else happens.
 	case 2:
 		b.probeAll()
-		if b.op.CarriesData() {
-			b.traceCycle(2, "write data, tag probe")
-		} else {
-			b.traceCycle(2, "tag probe")
-		}
 	case 3:
 		b.resolveShared()
-		if b.shared {
-			b.traceCycle(3, "MShared asserted")
-		} else {
-			b.traceCycle(3, "MShared clear")
-		}
 	case 4:
 		b.complete()
-		b.traceCycle(4, "data")
 		b.active = false
 		return
 	}
@@ -416,6 +394,16 @@ func (b *Bus) begin(port int, req Request) {
 	for i := range b.verdicts {
 		b.verdicts[i] = SnoopVerdict{}
 	}
+	if b.tracer != nil {
+		b.tracer.Emit(obs.Event{
+			Cycle: uint64(b.clock.Now()),
+			Kind:  obs.KindBusGrant,
+			Unit:  int32(port),
+			Addr:  uint32(b.addr),
+			A:     uint64(b.op),
+			Label: b.op.String(),
+		})
+	}
 	b.ports[port].initiator.BusGrant()
 }
 
@@ -445,6 +433,16 @@ func (b *Bus) resolveShared() {
 	}
 	if b.shared {
 		b.stats.SharedHits++
+		if b.tracer != nil {
+			b.tracer.Emit(obs.Event{
+				Cycle: uint64(b.clock.Now()),
+				Kind:  obs.KindBusShared,
+				Unit:  int32(b.portNum),
+				Addr:  uint32(b.addr),
+				A:     uint64(b.op),
+				Label: b.op.String(),
+			})
+		}
 	}
 	var data uint32
 	if b.op.CarriesData() {
@@ -518,19 +516,20 @@ func (b *Bus) complete() {
 	}
 	b.stats.Ops[b.op]++
 	b.stats.PerPort[b.portNum]++
+	if b.tracer != nil {
+		var shared uint64
+		if b.shared {
+			shared = 1
+		}
+		b.tracer.Emit(obs.Event{
+			Cycle: uint64(b.clock.Now()),
+			Kind:  obs.KindBusOp,
+			Unit:  int32(b.portNum),
+			Addr:  uint32(b.addr),
+			A:     uint64(b.op),
+			B:     shared,
+			Label: b.op.String(),
+		})
+	}
 	b.ports[b.portNum].initiator.BusComplete(res)
-}
-
-func (b *Bus) traceCycle(phase int, note string) {
-	if !b.tracing {
-		return
-	}
-	e := TraceEntry{Cycle: b.clock.Now(), Phase: phase, Note: note}
-	if phase > 0 {
-		e.Op = b.op
-		e.Addr = b.addr
-		e.Port = b.portNum
-		e.Shared = b.shared
-	}
-	b.trace = append(b.trace, e)
 }

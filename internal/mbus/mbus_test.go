@@ -3,6 +3,7 @@ package mbus
 import (
 	"testing"
 
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 )
 
@@ -129,7 +130,8 @@ func TestOpKindPredicates(t *testing.T) {
 }
 
 // TestFigure4MReadTiming verifies the paper's Figure 4: an MRead occupies
-// exactly four cycles — arbitration+address, tag probe, MShared, data.
+// exactly four cycles — arbitration+address, tag probe, MShared, data —
+// and the bus emits the grant and completion events that render Figure 4.
 func TestFigure4MReadTiming(t *testing.T) {
 	b, clock, mem := newTestBus()
 	mem.words[0x100] = 0xabcd
@@ -137,7 +139,8 @@ func TestFigure4MReadTiming(t *testing.T) {
 	snoop := newTestSnooper(true)
 	b.Attach(init, nil, nil)
 	b.Attach(nil, snoop, nil)
-	b.SetTracing(true)
+	ring := obs.NewRing(16)
+	b.SetTracer(obs.NewTracer(ring))
 
 	init.issue(MRead, 0x100, 0)
 	run(b, clock, 4)
@@ -152,24 +155,56 @@ func TestFigure4MReadTiming(t *testing.T) {
 	if r.Done != 4 {
 		t.Fatalf("completed at cycle %d, want 4", r.Done)
 	}
-	tr := b.Trace()
-	if len(tr) != 4 {
-		t.Fatalf("trace has %d entries, want 4", len(tr))
+	events := ring.Events()
+	if len(events) != 2 {
+		t.Fatalf("trace has %d events, want grant+completion: %+v", len(events), events)
 	}
-	for i, e := range tr {
-		if e.Phase != i+1 {
-			t.Fatalf("trace phase[%d] = %d", i, e.Phase)
-		}
+	grant, done := events[0], events[1]
+	if grant.Kind != obs.KindBusGrant || grant.Cycle != 1 || grant.Label != "MRead" {
+		t.Fatalf("grant event = %+v", grant)
+	}
+	// Completion lands on cycle 4; phases 2-4 are the three cycles after
+	// the grant, so the whole operation spans exactly four cycles.
+	if done.Kind != obs.KindBusOp || done.Cycle != 4 || done.Cycle-grant.Cycle != 3 {
+		t.Fatalf("completion event = %+v", done)
+	}
+	// The line was nowhere cached, so MShared never fired and no
+	// obs.KindBusShared event was emitted.
+	if done.B != 0 {
+		t.Fatalf("completion reports MShared: %+v", done)
 	}
 	// The tag probe happens in cycle 2, not earlier.
 	if len(snoop.probes) != 1 {
 		t.Fatalf("snooper probed %d times", len(snoop.probes))
 	}
-	if tr[1].Note != "tag probe" {
-		t.Fatalf("cycle 2 note = %q", tr[1].Note)
+}
+
+// TestBusSharedEvent verifies obs.KindBusShared fires in cycle 3 when a
+// snooper holds the line.
+func TestBusSharedEvent(t *testing.T) {
+	b, clock, mem := newTestBus()
+	mem.words[0x100] = 0xabcd
+	init := &testInitiator{}
+	snoop := newTestSnooper(true)
+	snoop.lines[0x100] = 0x1111
+	b.Attach(init, nil, nil)
+	b.Attach(nil, snoop, nil)
+	ring := obs.NewRing(16)
+	b.SetTracer(obs.NewTracer(ring))
+
+	init.issue(MRead, 0x100, 0)
+	run(b, clock, 4)
+
+	events := ring.Events()
+	if len(events) != 3 {
+		t.Fatalf("trace has %d events, want grant+shared+completion: %+v", len(events), events)
 	}
-	if tr[2].Note != "MShared clear" {
-		t.Fatalf("cycle 3 note = %q", tr[2].Note)
+	sh := events[1]
+	if sh.Kind != obs.KindBusShared || sh.Cycle != 3 || sh.Addr != 0x100 {
+		t.Fatalf("shared event = %+v", sh)
+	}
+	if done := events[2]; done.B != 1 {
+		t.Fatalf("completion does not report MShared: %+v", done)
 	}
 }
 

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome streams events in the Chrome trace_event JSON-array format, so a
+// capture loads directly into chrome://tracing or Perfetto. The export
+// lays out one track per machine unit: tid 0 is the MBus, tid 1+i is
+// processor i (its cache and scheduler events), and a DMA engine appears
+// under tid 1+port. Completed bus operations render as duration slices
+// spanning their four cycles; everything else is an instant event.
+//
+// Times are microseconds of simulated time (1 MBus cycle = 0.1 µs).
+type Chrome struct {
+	w     *bufio.Writer
+	err   error
+	wrote bool
+	named map[int32]bool
+}
+
+// NewChrome returns a sink writing to w. Call Close to terminate the JSON
+// array; a file left unclosed still loads in chrome://tracing (the format
+// tolerates truncation) but is not valid JSON.
+func NewChrome(w io.Writer) *Chrome {
+	c := &Chrome{w: bufio.NewWriter(w), named: make(map[int32]bool)}
+	_, c.err = c.w.WriteString("[")
+	return c
+}
+
+// busTrack is the tid of the MBus track; unit tracks follow at 1+unit.
+const busTrack = 0
+
+func (c *Chrome) track(e Event) int32 {
+	switch e.Kind {
+	case KindBusGrant, KindBusShared, KindBusOp:
+		return busTrack
+	}
+	return 1 + e.Unit
+}
+
+func (c *Chrome) emit(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	if c.wrote {
+		if _, c.err = c.w.WriteString(",\n"); c.err != nil {
+			return
+		}
+	}
+	c.wrote = true
+	_, c.err = fmt.Fprintf(c.w, format, args...)
+}
+
+// nameTrack emits the thread_name metadata record the first time a track
+// is used, so the viewer labels it.
+func (c *Chrome) nameTrack(tid int32, e Event) {
+	if c.named[tid] {
+		return
+	}
+	c.named[tid] = true
+	var name string
+	switch {
+	case tid == busTrack:
+		name = "MBus"
+	case e.Kind == KindDMAStart || e.Kind == KindDMAWord || e.Kind == KindDMADone:
+		name = fmt.Sprintf("dma port %d", e.Unit)
+	default:
+		name = fmt.Sprintf("cpu%d", e.Unit)
+	}
+	c.emit(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%q}}`, tid, name)
+}
+
+// Observe implements Observer.
+func (c *Chrome) Observe(e Event) {
+	tid := c.track(e)
+	c.nameTrack(tid, e)
+	name := e.Label
+	if name == "" {
+		name = e.Kind.String()
+	}
+	if e.Kind == KindBusOp {
+		// A completed operation spans its four cycles (Figure 4); the
+		// completion event carries the final cycle.
+		start := uint64(0)
+		if e.Cycle >= 3 {
+			start = e.Cycle - 3
+		}
+		c.emit(`{"name":%q,"cat":%q,"ph":"X","ts":%s,"dur":0.4,"pid":1,"tid":%d,"args":{"addr":"0x%06x","port":%d,"shared":%t}}`,
+			name, e.Kind.String(), usec(start), tid, e.Addr, e.Unit, e.B != 0)
+		return
+	}
+	c.emit(`{"name":%q,"cat":%q,"ph":"i","ts":%s,"pid":1,"tid":%d,"s":"t","args":{"addr":"0x%06x","a":%d,"b":%d}}`,
+		name, e.Kind.String(), usec(e.Cycle), tid, e.Addr, e.A, e.B)
+}
+
+// usec renders a cycle count as microseconds with one decimal (exact:
+// cycles are 0.1 µs), avoiding floating-point formatting entirely so the
+// output is deterministic.
+func usec(cycle uint64) string {
+	return fmt.Sprintf("%d.%d", cycle/10, cycle%10)
+}
+
+// Close terminates the JSON array and flushes.
+func (c *Chrome) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if _, c.err = c.w.WriteString("]\n"); c.err != nil {
+		return c.err
+	}
+	return c.w.Flush()
+}
+
+var _ Observer = (*Chrome)(nil)

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// JSONL streams events as JSON Lines: one event object per line, fields
+// always present and always in the same order, so two runs with the same
+// seed produce byte-identical files. The format is the trace-driven
+// validation interface: diffable, greppable, and loadable by anything
+// that reads JSON.
+type JSONL struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewJSONL returns a sink writing to w. Call Close to flush.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{w: bufio.NewWriter(w)}
+}
+
+// Observe implements Observer.
+func (j *JSONL) Observe(e Event) {
+	if j.err != nil {
+		return
+	}
+	_, j.err = fmt.Fprintf(j.w,
+		`{"cycle":%d,"kind":%q,"unit":%d,"addr":"0x%06x","a":%d,"b":%d,"label":%q}`+"\n",
+		e.Cycle, e.Kind.String(), e.Unit, e.Addr, e.A, e.B, e.Label)
+}
+
+// Close flushes buffered output and returns the first write error.
+func (j *JSONL) Close() error {
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+var _ Observer = (*JSONL)(nil)

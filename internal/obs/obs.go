@@ -1,0 +1,187 @@
+// Package obs is the machine-wide observability layer: structured event
+// tracing for every Firefly subsystem. The hardware Firefly was measured
+// with "a counter connected to the hardware" (paper §5.3); obs is the
+// modern equivalent — a stream of typed events emitted by the MBus, the
+// coherent caches, the Topaz scheduler, and the QBus DMA engine, fanned
+// out to pluggable sinks (a bounded ring buffer, a deterministic JSONL
+// exporter, a Chrome trace_event exporter).
+//
+// Design constraints:
+//
+//   - Disabled tracing must cost nothing on the hot path: every emitting
+//     component holds a nil-able *Tracer and guards emission with a nil
+//     check. No Event is constructed when the tracer is nil.
+//   - Emission must not allocate: Event is a flat value struct whose only
+//     reference field is a Label string, which emitters populate from
+//     pre-existing constants (an OpKind mnemonic, a state name, a thread
+//     name) — never from runtime concatenation.
+//   - The event stream must be deterministic: the simulator is
+//     single-threaded and every component's randomness is seeded, so two
+//     runs with the same seed produce byte-identical exported streams.
+package obs
+
+import "fmt"
+
+// Kind identifies an event type. Kinds are grouped by emitting subsystem;
+// the groups map onto the paper's instrumentation points (see DESIGN.md,
+// "Observability").
+type Kind uint8
+
+const (
+	// KindBusGrant: an initiator won MBus arbitration (Figure 4, cycle 1).
+	// Unit is the winning port, Addr the operation address, A the
+	// mbus.OpKind, Label the operation mnemonic.
+	KindBusGrant Kind = iota
+	// KindBusShared: the wired-OR MShared line was asserted during cycle 3
+	// of the operation (Figure 4). Unit is the initiating port, A the
+	// mbus.OpKind.
+	KindBusShared
+	// KindBusOp: a four-cycle MBus operation completed (Figure 4, cycle 4).
+	// Unit is the initiating port, A the mbus.OpKind, B 1 when MShared was
+	// asserted.
+	KindBusOp
+	// KindCacheReadHit / KindCacheWriteHit: a CPU reference hit the board
+	// cache. Unit is the processor, Addr the reference address.
+	KindCacheReadHit
+	KindCacheWriteHit
+	// KindCacheReadMiss / KindCacheWriteMiss: a CPU reference missed.
+	KindCacheReadMiss
+	KindCacheWriteMiss
+	// KindCacheWriteThrough: a conditional write-through completed
+	// (the Firefly protocol's signature behaviour, Figure 3). B is 1 when
+	// MShared was asserted (true sharing), 0 for the "last sharer" write
+	// that reverts the line to write-back.
+	KindCacheWriteThrough
+	// KindCacheWriteBack: a dirty victim line finished writing back.
+	KindCacheWriteBack
+	// KindCacheState: a line changed coherence state (a Figure 3 arc).
+	// A is the old core.State, B the new, Label the new state's name.
+	KindCacheState
+	// KindSchedDispatch: the Topaz scheduler placed a thread on a
+	// processor. Unit is the processor, A the thread id, Label the thread
+	// name.
+	KindSchedDispatch
+	// KindSchedPreempt: a thread's quantum expired and it was returned to
+	// the ready queue. Unit is the processor, A the thread id.
+	KindSchedPreempt
+	// KindSchedMigrate: a dispatch moved a thread away from its last
+	// processor — the cache-refill cost §5.1 explains.
+	KindSchedMigrate
+	// KindSchedMigrateAvoided: the scheduler skipped older ready threads
+	// to dispatch one with affinity for this processor ("the Taos
+	// scheduler makes some effort to avoid changing processors").
+	KindSchedMigrateAvoided
+	// KindDMAStart: the QBus DMA engine began a transfer. Unit is the
+	// engine's MBus port, A the word count, B 1 for device-to-memory,
+	// Label the device name.
+	KindDMAStart
+	// KindDMAWord: one DMA word moved over the MBus. Addr is the
+	// translated physical address.
+	KindDMAWord
+	// KindDMADone: a DMA transfer completed (or NXM-aborted on a mapping
+	// fault, B = 1).
+	KindDMADone
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindBusGrant:            "bus.grant",
+	KindBusShared:           "bus.shared",
+	KindBusOp:               "bus.op",
+	KindCacheReadHit:        "cache.read_hit",
+	KindCacheWriteHit:       "cache.write_hit",
+	KindCacheReadMiss:       "cache.read_miss",
+	KindCacheWriteMiss:      "cache.write_miss",
+	KindCacheWriteThrough:   "cache.write_through",
+	KindCacheWriteBack:      "cache.write_back",
+	KindCacheState:          "cache.state",
+	KindSchedDispatch:       "sched.dispatch",
+	KindSchedPreempt:        "sched.preempt",
+	KindSchedMigrate:        "sched.migrate",
+	KindSchedMigrateAvoided: "sched.migrate_avoided",
+	KindDMAStart:            "dma.start",
+	KindDMAWord:             "dma.word",
+	KindDMADone:             "dma.done",
+}
+
+// String returns the kind's dotted name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Kinds returns every defined kind, for exhaustiveness tests.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
+}
+
+// Event is one observed machine event. It is a flat value struct: emitting
+// one allocates nothing, and a Ring of them is a single backing array.
+// Field meanings are kind-specific; see the Kind constants.
+type Event struct {
+	// Cycle is the MBus cycle at which the event was observed.
+	Cycle uint64
+	// Kind classifies the event.
+	Kind Kind
+	// Unit is the emitting unit: a processor index, an MBus port, or -1
+	// when no unit applies.
+	Unit int32
+	// Addr is the physical address involved, when one is.
+	Addr uint32
+	// A and B carry kind-specific arguments.
+	A, B uint64
+	// Label is a human mnemonic (an op name, a state name, a thread
+	// name). Emitters must use pre-existing constant strings.
+	Label string
+}
+
+// Observer consumes events. Implementations must not retain pointers into
+// any internal state of the emitter; the Event value is theirs to keep.
+type Observer interface {
+	Observe(Event)
+}
+
+// Tracer fans events out to its sinks. A nil *Tracer is the disabled
+// state: components guard every emission site with a nil check, so the
+// disabled cost is one predictable branch.
+type Tracer struct {
+	sinks []Observer
+	count uint64
+}
+
+// NewTracer returns a tracer with the given sinks attached.
+func NewTracer(sinks ...Observer) *Tracer {
+	return &Tracer{sinks: sinks}
+}
+
+// Attach adds a sink. Events emitted before Attach are not replayed.
+func (t *Tracer) Attach(o Observer) {
+	if o == nil {
+		panic("obs: attaching a nil observer")
+	}
+	t.sinks = append(t.sinks, o)
+}
+
+// Emit delivers the event to every sink in attachment order.
+func (t *Tracer) Emit(e Event) {
+	t.count++
+	for _, s := range t.sinks {
+		s.Observe(e)
+	}
+}
+
+// Count returns the number of events emitted so far.
+func (t *Tracer) Count() uint64 { return t.count }
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(e Event) { f(e) }

@@ -1,0 +1,65 @@
+package obs
+
+// Ring is a bounded in-memory event sink. When full, the newest event
+// overwrites the oldest (the hardware-logic-analyzer discipline: you keep
+// the tail of the capture, and you know how much fell off the front).
+type Ring struct {
+	buf     []Event
+	next    int // index the next event is written to
+	full    bool
+	dropped uint64
+}
+
+// NewRing returns a ring holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Observe implements Observer.
+func (r *Ring) Observe(e Event) {
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the held events, oldest first. The slice is a copy.
+func (r *Ring) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Reset empties the ring and clears the dropped count.
+func (r *Ring) Reset() {
+	r.next = 0
+	r.full = false
+	r.dropped = 0
+}
+
+var _ Observer = (*Ring)(nil)

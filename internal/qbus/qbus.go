@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 	"firefly/internal/stats"
 )
@@ -120,6 +121,7 @@ type EngineStats struct {
 // queued transfers word by word through the mapping registers.
 type Engine struct {
 	clock *sim.Clock
+	bus   *mbus.Bus
 	maps  *MapRegisters
 	port  int
 
@@ -143,12 +145,32 @@ func NewEngine(clock *sim.Clock, bus *mbus.Bus, maps *MapRegisters, wordCycles u
 	}
 	e := &Engine{
 		clock:      clock,
+		bus:        bus,
 		maps:       maps,
 		wordCycles: wordCycles,
 		stats:      EngineStats{PerDeviceWord: make(map[string]uint64)},
 	}
 	e.port = bus.Attach(e, nil, nil)
 	return e
+}
+
+// emit sends a DMA event to the bus's tracer, if one is installed. The
+// tracer is read lazily so tracing enabled after engine attachment (via
+// machine.Trace) still covers DMA.
+func (e *Engine) emit(kind obs.Kind, addr mbus.Addr, a, b uint64, label string) {
+	tr := e.bus.Tracer()
+	if tr == nil {
+		return
+	}
+	tr.Emit(obs.Event{
+		Cycle: uint64(e.clock.Now()),
+		Kind:  kind,
+		Unit:  int32(e.port),
+		Addr:  uint32(addr),
+		A:     a,
+		B:     b,
+		Label: label,
+	})
 }
 
 // Port returns the engine's MBus port number.
@@ -201,6 +223,8 @@ func (e *Engine) Step() {
 		e.queue = e.queue[1:]
 		e.pos = 0
 		e.stats.Transfers.Inc()
+		e.emit(obs.KindDMAStart, mbus.Addr(e.cur.QAddr), uint64(e.cur.Words),
+			boolArg(e.cur.ToMemory), e.cur.Device)
 	}
 	if e.clock.Now() < e.nextIssue {
 		return
@@ -211,6 +235,7 @@ func (e *Engine) Step() {
 		// A mapping fault aborts the transfer, as a real controller would
 		// NXM-abort; the device learns via OnDone with the fault counted.
 		e.stats.MapFaults.Inc()
+		e.emit(obs.KindDMADone, mbus.Addr(qaddr), uint64(e.pos), 1, e.cur.Device)
 		e.finishCurrent()
 		return
 	}
@@ -219,6 +244,7 @@ func (e *Engine) Step() {
 	} else {
 		e.req = mbus.Request{Op: mbus.MRead, Addr: phys}
 	}
+	e.emit(obs.KindDMAWord, phys, uint64(e.pos), boolArg(e.cur.ToMemory), e.cur.Device)
 	e.reqValid = true
 	// Pace issue-to-issue so a saturated engine sustains one word per
 	// wordCycles regardless of bus latency.
@@ -245,8 +271,17 @@ func (e *Engine) BusComplete(res mbus.Result) {
 	e.stats.PerDeviceWord[e.cur.Device]++
 	e.pos++
 	if e.pos >= e.cur.Words {
+		e.emit(obs.KindDMADone, mbus.Addr(e.cur.QAddr), uint64(e.pos), 0, e.cur.Device)
 		e.finishCurrent()
 	}
+}
+
+// boolArg converts a flag to an event argument.
+func boolArg(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func (e *Engine) finishCurrent() {

@@ -26,15 +26,21 @@ func (c *Counter) Inc() { *c++ }
 func (c Counter) Value() uint64 { return uint64(c) }
 
 // PerSecond converts the count into an events-per-second rate over the
-// given simulated duration in seconds. Zero duration yields zero.
+// given simulated duration in seconds. Durations that cannot yield a
+// meaningful rate — zero, negative, or NaN — return 0 rather than
+// propagating NaN/Inf into reports; an infinite duration likewise rates
+// 0. Counts up to the full uint64 range convert through float64 (at most
+// 1 ulp of rounding, never overflow).
 func (c Counter) PerSecond(seconds float64) float64 {
-	if seconds <= 0 {
+	if !(seconds > 0) { // catches zero, negative, and NaN
 		return 0
 	}
 	return float64(c) / seconds
 }
 
-// Ratio returns c divided by total, or 0 when total is zero.
+// Ratio returns c divided by total, or 0 when total is zero. Both
+// operands convert through float64, so counts near the top of the uint64
+// range divide without overflow (with at most 1 ulp of rounding).
 func Ratio(c, total uint64) float64 {
 	if total == 0 {
 		return 0

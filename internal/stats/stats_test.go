@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -26,12 +27,61 @@ func TestCounterPerSecond(t *testing.T) {
 	}
 }
 
+func TestCounterPerSecondEdgeCases(t *testing.T) {
+	var c Counter
+	c.Add(1000)
+	// Degenerate durations must yield 0, never NaN or Inf.
+	for _, secs := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := c.PerSecond(secs); got != 0 {
+			t.Fatalf("PerSecond(%v) = %v, want 0", secs, got)
+		}
+	}
+	// A zero count over a real duration is a real rate of 0.
+	var z Counter
+	if got := z.PerSecond(3); got != 0 {
+		t.Fatalf("zero counter PerSecond(3) = %v", got)
+	}
+	// Counts near the top of the uint64 range convert without overflow.
+	big := Counter(math.MaxUint64)
+	got := big.PerSecond(1)
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Fatalf("PerSecond of max counter = %v", got)
+	}
+	if rel := math.Abs(got-float64(math.MaxUint64)) / float64(math.MaxUint64); rel > 1e-15 {
+		t.Fatalf("PerSecond of max counter off by %v relative", rel)
+	}
+}
+
 func TestRatio(t *testing.T) {
 	if got := Ratio(1, 4); got != 0.25 {
 		t.Fatalf("Ratio(1,4) = %v", got)
 	}
 	if got := Ratio(3, 0); got != 0 {
 		t.Fatalf("Ratio(3,0) = %v, want 0", got)
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	// Zero over zero is 0, not NaN.
+	if got := Ratio(0, 0); got != 0 {
+		t.Fatalf("Ratio(0,0) = %v, want 0", got)
+	}
+	// Operands near the top of the uint64 range divide through float64
+	// without overflow; equal operands come out 1 exactly.
+	if got := Ratio(math.MaxUint64, math.MaxUint64); got != 1 {
+		t.Fatalf("Ratio(max,max) = %v, want 1", got)
+	}
+	got := Ratio(math.MaxUint64/2, math.MaxUint64)
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Ratio near max = %v", got)
+	}
+	if math.Abs(got-0.5) > 1e-15 {
+		t.Fatalf("Ratio(max/2, max) = %v, want ~0.5", got)
+	}
+	// Part greater than total is allowed and exceeds 1 (e.g. ticks over
+	// instructions); it must still be finite.
+	if got := Ratio(10, 3); got < 3.3 || got > 3.4 {
+		t.Fatalf("Ratio(10,3) = %v", got)
 	}
 }
 

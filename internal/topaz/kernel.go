@@ -6,6 +6,7 @@ import (
 	"firefly/internal/cpu"
 	"firefly/internal/machine"
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 	"firefly/internal/trace"
 )
@@ -158,6 +159,13 @@ func NewKernel(m *machine.Machine, cfg Config) *Kernel {
 		p.SetSource(ps.src)
 		p.SetInstrHook(func(*cpu.Processor) { k.onInstr(proc) })
 	}
+	reg := m.Registry()
+	reg.Register("kernel.context_switches", func() uint64 { return k.stats.ContextSwitches })
+	reg.Register("kernel.migrations", func() uint64 { return k.stats.Migrations })
+	reg.Register("kernel.preemptions", func() uint64 { return k.stats.Preemptions })
+	reg.Register("kernel.forks", func() uint64 { return k.stats.Forks })
+	reg.Register("kernel.exits", func() uint64 { return k.stats.Exits })
+	reg.Register("kernel.idle_instr", func() uint64 { return k.stats.IdleInstr })
 	return k
 }
 
@@ -335,6 +343,15 @@ func (k *Kernel) maybePreempt(proc int) {
 	}
 	t := ps.cur
 	k.stats.Preemptions++
+	if tr := k.m.Tracer(); tr != nil {
+		tr.Emit(obs.Event{
+			Cycle: uint64(k.m.Clock().Now()),
+			Kind:  obs.KindSchedPreempt,
+			Unit:  int32(proc),
+			A:     uint64(t.id),
+			Label: t.spec.Name,
+		})
+	}
 	t.state = Ready
 	t.proc = -1
 	k.ready = append(k.ready, t)
@@ -368,6 +385,18 @@ func (k *Kernel) dispatch(proc int) {
 	t := k.ready[pick]
 	k.ready = append(k.ready[:pick], k.ready[pick+1:]...)
 
+	tr := k.m.Tracer()
+	if tr != nil && k.cfg.AvoidMigration && pick > 0 {
+		// The scheduler passed over older ready threads to keep this one
+		// on the processor whose cache still holds its working set.
+		tr.Emit(obs.Event{
+			Cycle: uint64(k.m.Clock().Now()),
+			Kind:  obs.KindSchedMigrateAvoided,
+			Unit:  int32(proc),
+			A:     uint64(t.id),
+			Label: t.spec.Name,
+		})
+	}
 	ps := k.procs[proc]
 	t.state = Running
 	t.proc = proc
@@ -375,6 +404,16 @@ func (k *Kernel) dispatch(proc int) {
 	if t.lastProc >= 0 && t.lastProc != proc {
 		t.Migrations++
 		k.stats.Migrations++
+		if tr != nil {
+			tr.Emit(obs.Event{
+				Cycle: uint64(k.m.Clock().Now()),
+				Kind:  obs.KindSchedMigrate,
+				Unit:  int32(proc),
+				A:     uint64(t.id),
+				B:     uint64(t.lastProc),
+				Label: t.spec.Name,
+			})
+		}
 	}
 	t.lastProc = proc
 	ps.cur = t
@@ -383,6 +422,15 @@ func (k *Kernel) dispatch(proc int) {
 	ps.switchLeft = k.cfg.SwitchCost
 	ps.src.inKern = k.cfg.SwitchCost > 0
 	k.stats.ContextSwitches++
+	if tr != nil {
+		tr.Emit(obs.Event{
+			Cycle: uint64(k.m.Clock().Now()),
+			Kind:  obs.KindSchedDispatch,
+			Unit:  int32(proc),
+			A:     uint64(t.id),
+			Label: t.spec.Name,
+		})
+	}
 }
 
 // advance pulls and processes one action from the thread's program.

@@ -28,6 +28,37 @@ func (s *SharedRegion) Slot(i int) mbus.Addr {
 	return s.Base + mbus.Addr((i%s.Slots)*4)
 }
 
+// SyntheticLoad names the machine-wide knobs of the synthetic workload:
+// the paper's trace-characterization parameters, one field per quantity.
+// It replaces the old positional triple (miss rate, share fraction,
+// shared-read fraction) whose call sites were unreadable and
+// order-fragile.
+type SyntheticLoad struct {
+	// MissRate is the target fraction of references forced to miss — the
+	// paper's M (0.2 for the MicroVAX cache).
+	MissRate float64
+	// ShareFraction is the fraction of data writes directed at the shared
+	// region — the paper's S (estimated at 0.1).
+	ShareFraction float64
+	// SharedReadFraction is the fraction of data reads directed at the
+	// shared region, which keeps shared lines resident in every cache so
+	// that writes to them actually observe MShared.
+	SharedReadFraction float64
+}
+
+// Validate checks the load parameters.
+func (l SyntheticLoad) Validate() error {
+	switch {
+	case l.MissRate < 0 || l.MissRate > 1:
+		return fmt.Errorf("trace: miss rate %v out of [0,1]", l.MissRate)
+	case l.ShareFraction < 0 || l.ShareFraction > 1:
+		return fmt.Errorf("trace: share fraction %v out of [0,1]", l.ShareFraction)
+	case l.SharedReadFraction < 0 || l.SharedReadFraction > 1:
+		return fmt.Errorf("trace: shared read fraction %v out of [0,1]", l.SharedReadFraction)
+	}
+	return nil
+}
+
 // SyntheticConfig parameterizes a Synthetic generator.
 type SyntheticConfig struct {
 	// MissRate is the target fraction of references forced to miss (the
