@@ -35,14 +35,17 @@ func BenchmarkTable1(b *testing.B) {
 	b.ReportMetric(tp, "TP@12cpu")
 }
 
-// BenchmarkTable1Simulated cross-checks Table 1 on the cycle simulator.
+// BenchmarkTable1Simulated cross-checks Table 1 on the cycle simulator,
+// running the full NP sweep through the sweep engine (parallel across
+// points when -workers / GOMAXPROCS allows).
 func BenchmarkTable1Simulated(b *testing.B) {
-	var pt experiments.Table1SimPoint
+	var out experiments.Outcome
 	for i := 0; i < b.N; i++ {
-		pt = experiments.SimulateTable1Point(5, 400_000)
+		out = experiments.Table1Sim(experiments.Quick)
 	}
-	b.ReportMetric(pt.Load, "busload@5cpu")
-	b.ReportMetric(pt.TP, "TP@5cpu")
+	if len(out.Text) == 0 {
+		b.Fatal("empty outcome")
+	}
 }
 
 // BenchmarkTable2 regenerates Table 2 (measured performance) by running
@@ -173,6 +176,28 @@ func BenchmarkLineSize(b *testing.B) {
 func BenchmarkOnChipData(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		experiments.OnChipDataAblation(experiments.Quick)
+	}
+}
+
+// BenchmarkSweepSerial runs the Table 1 sweep pinned to one worker — the
+// baseline for BenchmarkSweepParallel. The two must produce byte-identical
+// Outcome.Text (see TestSweepDeterministic); only wall time may differ.
+func BenchmarkSweepSerial(b *testing.B) {
+	prev := experiments.SetWorkers(1)
+	defer experiments.SetWorkers(prev)
+	for i := 0; i < b.N; i++ {
+		experiments.Table1Sim(experiments.Quick)
+	}
+}
+
+// BenchmarkSweepParallel runs the same sweep with one worker per
+// available CPU. On a multi-core runner this should approach
+// serial/NumCPU; on a single core it measures pool overhead.
+func BenchmarkSweepParallel(b *testing.B) {
+	prev := experiments.SetWorkers(0)
+	defer experiments.SetWorkers(prev)
+	for i := 0; i < b.N; i++ {
+		experiments.Table1Sim(experiments.Quick)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	fireflysim -cpus 4 -variant cvax -workload exerciser
 //	fireflysim -cpus 4 -workload make
 //	fireflysim -cpus 2 -seconds 0.001 -trace out.json -trace-format chrome
+//	fireflysim -experiment table1sim -workers 4
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"firefly"
+	"firefly/internal/experiments"
 	"firefly/internal/machine"
 	"firefly/internal/obs"
 	"firefly/internal/topaz"
@@ -38,7 +40,20 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write an event trace to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+	experiment := flag.String("experiment", "", "run a named sweep experiment instead of a single machine (see cmd/tables -list)")
+	workers := flag.Int("workers", 0, "sweep worker goroutines for -experiment (0 = one per CPU; output is identical for any value)")
 	flag.Parse()
+
+	if *experiment != "" {
+		experiments.SetWorkers(*workers)
+		r := experiments.ByID(*experiment)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: unknown experiment %q (see cmd/tables -list)\n", *experiment)
+			os.Exit(2)
+		}
+		fmt.Println(r.Run(experiments.Quick))
+		return
+	}
 
 	var cfg machine.Config
 	switch *variant {

@@ -21,7 +21,10 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
 	full := flag.Bool("full", false, "use report-quality run lengths")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; output is identical for any value)")
 	flag.Parse()
+
+	experiments.SetWorkers(*workers)
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -107,8 +107,13 @@ const (
 // an mbus.Initiator and mbus.Snooper. One CPU access may be outstanding at
 // a time, mirroring the MicroVAX's single memory interface.
 type Cache struct {
-	clock     *sim.Clock
-	proto     Protocol
+	clock *sim.Clock
+	proto Protocol
+	// isFirefly devirtualizes the hot protocol calls: Firefly{} is a
+	// stateless zero-width struct, so dispatching to it directly (rather
+	// than through the Protocol interface) lets the per-snoop and
+	// per-write-hit decisions inline into the cache controller.
+	isFirefly bool
 	lines     int
 	lineWords int // longwords per line (1 on the real Firefly)
 
@@ -136,6 +141,10 @@ type Cache struct {
 	snoopIdx   int
 	snoopLive  bool
 	lastProbed sim.Cycle
+	// flushBuf backs SnoopVerdict.Flush without a per-snoop allocation;
+	// the bus consumes the verdict before this cache can be probed again,
+	// so one buffer per cache suffices.
+	flushBuf []mbus.WordFlush
 	// doneAt latches the completion cycle of the last bus-borne access;
 	// Busy reports true through that cycle so the processor charges the
 	// full bus-operation time (the model's N ticks per MBus operation).
@@ -171,15 +180,18 @@ func NewCacheGeometry(clock *sim.Clock, proto Protocol, lines, lineWords int) *C
 	if lineWords <= 0 || lineWords&(lineWords-1) != 0 {
 		panic(fmt.Sprintf("core: line words must be a power of two, got %d", lineWords))
 	}
+	_, isFirefly := proto.(Firefly)
 	return &Cache{
 		clock:     clock,
 		proto:     proto,
+		isFirefly: isFirefly,
 		lines:     lines,
 		lineWords: lineWords,
 		tags:      make([]mbus.Addr, lines),
 		states:    make([]State, lines),
 		data:      make([]uint32, lines*lineWords),
 		fillBuf:   make([]uint32, lineWords),
+		flushBuf:  make([]mbus.WordFlush, 0, lineWords),
 	}
 }
 
@@ -234,6 +246,32 @@ func (c *Cache) emit(kind obs.Kind, addr mbus.Addr, a, b uint64) {
 
 // Protocol returns the coherence protocol the cache runs.
 func (c *Cache) Protocol() Protocol { return c.proto }
+
+// snoopAction, writeHitOp, and afterWriteHit dispatch the protocol
+// decisions on the controller's hot paths, devirtualized for Firefly{}
+// (the direct call on the concrete zero-width struct inlines; the
+// interface call does not). Behaviour is identical either way.
+
+func (c *Cache) snoopAction(s State, op mbus.OpKind) SnoopAction {
+	if c.isFirefly {
+		return Firefly{}.Snoop(s, op)
+	}
+	return c.proto.Snoop(s, op)
+}
+
+func (c *Cache) writeHitOp(s State) (mbus.OpKind, bool) {
+	if c.isFirefly {
+		return Firefly{}.WriteHitOp(s)
+	}
+	return c.proto.WriteHitOp(s)
+}
+
+func (c *Cache) afterWriteHit(s State, usedBus, shared bool) State {
+	if c.isFirefly {
+		return Firefly{}.AfterWriteHit(s, usedBus, shared)
+	}
+	return c.proto.AfterWriteHit(s, usedBus, shared)
+}
 
 // Lines returns the cache's line count.
 func (c *Cache) Lines() int { return c.lines }
@@ -349,6 +387,16 @@ func (c *Cache) Busy() bool {
 // LastRead returns the data produced by the most recent completed read.
 func (c *Cache) LastRead() uint32 { return c.lastRead }
 
+// Idle reports that the cache has no access in progress, no deferred
+// work, and no bus request raised — a Step (and any snoop-free bus
+// cycle) would leave it unchanged. The machine's idle skip-ahead
+// requires every cache to be idle; unlike Busy it ignores the doneAt
+// completion latch, which only delays the owning processor and decays
+// with the clock.
+func (c *Cache) Idle() bool {
+	return c.phase == seqIdle && !c.deferred && !c.reqValid
+}
+
 // TagStoreBusyAt reports whether the tag store serviced a snoop probe at
 // the given cycle. The CPU uses this to model the paper's SP term: "Each
 // CPU cache access that hits will be slowed by one tick if an MBus
@@ -409,11 +457,11 @@ func (c *Cache) begin() bool {
 		if c.tracer != nil {
 			c.emit(obs.KindCacheWriteHit, acc.Addr, 0, 0)
 		}
-		op, needBus := c.proto.WriteHitOp(c.states[idx])
+		op, needBus := c.writeHitOp(c.states[idx])
 		if !needBus {
 			c.stats.LocalWriteHits++
 			*c.word(idx, acc.Addr) = acc.Data
-			c.setState(idx, c.proto.AfterWriteHit(c.states[idx], false, false))
+			c.setState(idx, c.afterWriteHit(c.states[idx], false, false))
 			c.phase = seqIdle
 			return true
 		}
@@ -542,10 +590,10 @@ func (c *Cache) BusComplete(res mbus.Result) {
 			return
 		}
 		// Complete the write as a hit on the just-filled line.
-		op, needBus := c.proto.WriteHitOp(c.states[idx])
+		op, needBus := c.writeHitOp(c.states[idx])
 		if !needBus {
 			*c.word(idx, c.acc.Addr) = c.acc.Data
-			c.setState(idx, c.proto.AfterWriteHit(c.states[idx], false, false))
+			c.setState(idx, c.afterWriteHit(c.states[idx], false, false))
 			c.finish()
 			return
 		}
@@ -570,7 +618,7 @@ func (c *Cache) BusComplete(res mbus.Result) {
 			c.stats.Invalidations++
 		}
 		*c.word(idx, c.acc.Addr) = c.acc.Data
-		c.setState(idx, c.proto.AfterWriteHit(c.states[idx], true, res.Shared))
+		c.setState(idx, c.afterWriteHit(c.states[idx], true, res.Shared))
 		c.finish()
 
 	case seqDirectWrite:
@@ -612,7 +660,7 @@ func (c *Cache) SnoopProbe(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.Sno
 		return mbus.SnoopVerdict{}
 	}
 	c.stats.SnoopHits++
-	action := c.proto.Snoop(c.states[idx], op)
+	action := c.snoopAction(c.states[idx], op)
 	c.snoopIdx = idx
 	c.snoopLive = action.AssertShared // commit arrives only when MShared was driven
 	v := mbus.SnoopVerdict{HasLine: action.AssertShared}
@@ -627,12 +675,16 @@ func (c *Cache) SnoopProbe(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.Sno
 	// put on the bus; with longer lines the flush covers every word.
 	if c.states[idx].IsDirty() && !action.Next.IsDirty() {
 		base := c.tags[idx]
+		// The verdict borrows flushBuf: the bus consumes it when the
+		// operation completes, before this cache can be probed again.
+		c.flushBuf = c.flushBuf[:0]
 		for w := 0; w < c.lineWords; w++ {
-			v.Flush = append(v.Flush, mbus.WordFlush{
+			c.flushBuf = append(c.flushBuf, mbus.WordFlush{
 				Addr: base + mbus.Addr(w*4),
 				Data: c.data[idx*c.lineWords+w],
 			})
 		}
+		v.Flush = c.flushBuf
 	}
 	return v
 }
@@ -646,7 +698,7 @@ func (c *Cache) SnoopCommit(op mbus.OpKind, addr mbus.Addr, data uint32, shared 
 	idx := c.snoopIdx
 	// The line cannot have changed between probe and commit: local writes
 	// that could change it either need the (busy) bus or were deferred.
-	action := c.proto.Snoop(c.states[idx], op)
+	action := c.snoopAction(c.states[idx], op)
 	if action.TakeData && op.CarriesData() {
 		*c.word(idx, addr) = data
 		c.stats.SnoopTakes++

@@ -147,10 +147,21 @@ type Processor struct {
 	v     Variant
 	cache *core.Cache
 	src   trace.Source
-	rng   *sim.Rand
+	// syn devirtualizes the reference-source call for the synthetic
+	// generator (the sweep workloads' source): set when src is a
+	// *trace.Synthetic so the per-reference Next goes through a direct
+	// call instead of the interface. Kept in sync by SetSource.
+	syn *trace.Synthetic
+	// tickMask is TickCycles-1 when TickCycles is a power of two (both
+	// hardware variants: 1 and 2), letting the per-cycle tick-boundary
+	// test be a mask instead of a 64-bit modulo; -1 disables the fast
+	// path.
+	tickMask int64
+	rng      *sim.Rand
 
 	tpiCarry     float64
 	queue        []step
+	qhead        int // queue[qhead:] is the unconsumed tail; indexing instead of re-slicing keeps the buffer's capacity reusable
 	waiting      bool
 	probeStalled bool
 	halted       bool
@@ -170,14 +181,19 @@ func New(id int, clock *sim.Clock, v Variant, cache *core.Cache, src trace.Sourc
 	if cache == nil {
 		panic("cpu: processor needs a cache")
 	}
-	return &Processor{
-		id:    id,
-		clock: clock,
-		v:     v,
-		cache: cache,
-		src:   src,
-		rng:   sim.NewRand(seed ^ uint64(id)*0x9e3779b9),
+	p := &Processor{
+		id:       id,
+		clock:    clock,
+		v:        v,
+		cache:    cache,
+		tickMask: -1,
+		rng:      sim.NewRand(seed ^ uint64(id)*0x9e3779b9),
 	}
+	if v.TickCycles&(v.TickCycles-1) == 0 {
+		p.tickMask = int64(v.TickCycles - 1)
+	}
+	p.SetSource(src)
+	return p
 }
 
 // ID returns the processor number.
@@ -197,7 +213,10 @@ func (p *Processor) ResetStats() { p.stats = Stats{} }
 
 // SetSource changes the reference source (a context switch at the Topaz
 // layer). Takes effect at the next reference.
-func (p *Processor) SetSource(s trace.Source) { p.src = s }
+func (p *Processor) SetSource(s trace.Source) {
+	p.src = s
+	p.syn, _ = s.(*trace.Synthetic)
+}
 
 // Source returns the current reference source.
 func (p *Processor) Source() trace.Source { return p.src }
@@ -235,7 +254,11 @@ func (p *Processor) Step() {
 	if p.halted {
 		return
 	}
-	if uint64(p.clock.Now())%uint64(p.v.TickCycles) != 0 {
+	if p.tickMask >= 0 {
+		if int64(p.clock.Now())&p.tickMask != 0 {
+			return
+		}
+	} else if uint64(p.clock.Now())%uint64(p.v.TickCycles) != 0 {
 		return
 	}
 	p.tick()
@@ -254,7 +277,7 @@ func (p *Processor) tick() {
 		// submission; this tick proceeds with the next step.
 	}
 
-	if len(p.queue) == 0 {
+	if p.qhead == len(p.queue) {
 		if p.instrHook != nil {
 			p.instrHook(p)
 			if p.halted {
@@ -264,12 +287,12 @@ func (p *Processor) tick() {
 		p.buildInstruction()
 	}
 
-	st := &p.queue[0]
+	st := &p.queue[p.qhead]
 	if st.kind == stepCompute {
 		st.compute--
 		if st.compute <= 0 {
-			p.queue = p.queue[1:]
-			if len(p.queue) == 0 {
+			p.qhead++
+			if p.qhead == len(p.queue) {
 				p.retire()
 			}
 		}
@@ -285,14 +308,19 @@ func (p *Processor) tick() {
 	}
 	p.probeStalled = false
 
-	ref := p.src.Next(st.refKind)
-	p.queue = p.queue[1:]
+	var ref trace.Ref
+	if p.syn != nil {
+		ref = p.syn.Next(st.refKind)
+	} else {
+		ref = p.src.Next(st.refKind)
+	}
+	p.qhead++
 
 	onChipEligible := p.v.OnChipICache &&
 		(st.refKind == trace.InstrRead || (p.v.OnChipDCache && st.refKind == trace.DataRead))
 	if onChipEligible && p.rng.Bool(p.v.OnChipHitRate) {
 		p.stats.OnChipHits++
-		if len(p.queue) == 0 {
+		if p.qhead == len(p.queue) {
 			p.retire()
 		}
 		return
@@ -313,7 +341,7 @@ func (p *Processor) tick() {
 	if !done {
 		p.waiting = true
 	}
-	if len(p.queue) == 0 {
+	if p.qhead == len(p.queue) {
 		p.retire()
 	}
 }
@@ -327,38 +355,46 @@ func (p *Processor) retire() {
 // accumulator keeps the long-run base ticks per instruction equal to
 // BaseTPI without per-instruction rounding loss.
 func (p *Processor) buildInstruction() {
-	var refs []trace.Kind
+	// refs is a fixed-size buffer: at most one reference per kind. (An
+	// appended slice here allocated once per instruction — the dominant
+	// allocation of the whole cycle loop.)
+	var refs [3]trace.Kind
+	nr := 0
 	if p.rng.Bool(p.v.IR) {
-		refs = append(refs, trace.InstrRead)
+		refs[nr] = trace.InstrRead
+		nr++
 	}
 	if p.rng.Bool(p.v.DR) {
-		refs = append(refs, trace.DataRead)
+		refs[nr] = trace.DataRead
+		nr++
 	}
 	if p.rng.Bool(p.v.DW) {
-		refs = append(refs, trace.DataWrite)
+		refs[nr] = trace.DataWrite
+		nr++
 	}
 
 	p.tpiCarry += p.v.BaseTPI
 	baseTicks := int(p.tpiCarry)
 	p.tpiCarry -= float64(baseTicks)
 
-	compute := baseTicks - len(refs)
+	compute := baseTicks - nr
 	if compute < 0 {
 		compute = 0
 	}
 
 	// Interleave: a compute chunk before each reference and the remainder
 	// after the last (instruction decode, execute, result store).
-	slots := len(refs) + 1
+	slots := nr + 1
 	chunk := compute / slots
 	extra := compute % slots
 	p.queue = p.queue[:0]
+	p.qhead = 0
 	push := func(n int) {
 		if n > 0 {
 			p.queue = append(p.queue, step{kind: stepCompute, compute: n})
 		}
 	}
-	for i, k := range refs {
+	for i, k := range refs[:nr] {
 		n := chunk
 		if i < extra {
 			n++
@@ -367,7 +403,7 @@ func (p *Processor) buildInstruction() {
 		p.queue = append(p.queue, step{kind: stepRef, refKind: k})
 	}
 	n := chunk
-	if len(refs) < extra {
+	if nr < extra {
 		n++
 	}
 	push(n)

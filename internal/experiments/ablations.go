@@ -36,19 +36,24 @@ func ProtocolComparison(budget Budget) Outcome {
 	t := stats.NewTable(
 		fmt.Sprintf("Coherence protocols on a %d-CPU Firefly (per-CPU K refs/sec @ bus load)", nproc),
 		headers...)
-	for _, proto := range coherence.All() {
-		cells := []string{proto.Name()}
-		for _, s := range shares {
-			cfg := machine.MicroVAXConfig(nproc)
-			cfg.Protocol = proto
-			m := machine.New(cfg)
-			m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.15, ShareFraction: s, SharedReadFraction: s})
-			m.Warmup(cycles / 5)
-			m.Run(cycles)
-			rep := m.Report()
-			cells = append(cells, fmt.Sprintf("%.0f@%.2f", rep.MeanCPU().Total/1000, rep.BusLoad))
-		}
-		t.AddRow(cells...)
+	// Every protocol x share combination is an independent machine: run
+	// the full cross product as sweep points and assemble the table rows
+	// in submission order.
+	protos := coherence.All()
+	cells := Sweep(len(protos)*len(shares), func(i int) string {
+		proto, s := protos[i/len(shares)], shares[i%len(shares)]
+		cfg := machine.MicroVAXConfig(nproc)
+		cfg.Protocol = proto
+		m := machine.New(cfg)
+		m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.15, ShareFraction: s, SharedReadFraction: s})
+		m.Warmup(cycles / 5)
+		m.Run(cycles)
+		rep := m.Report()
+		return fmt.Sprintf("%.0f@%.2f", rep.MeanCPU().Total/1000, rep.BusLoad)
+	})
+	for pi, proto := range protos {
+		row := append([]string{proto.Name()}, cells[pi*len(shares):(pi+1)*len(shares)]...)
+		t.AddRow(row...)
 	}
 	text := t.String() + `
 Reading the table: higher K refs/sec is better; the @load shows the bus
@@ -104,8 +109,17 @@ func MigrationAblation(budget Budget) Outcome {
 		return k.Stats().Migrations - before, wt / float64(instr) * 1000, mean.Total / 1000
 	}
 
-	migOn, wtOn, rateOn := run(true)
-	migOff, wtOff, rateOff := run(false)
+	type migResult struct {
+		migrations uint64
+		wtPerK     float64
+		kRefs      float64
+	}
+	res := SweepItems([]bool{true, false}, func(avoid bool) migResult {
+		mig, wt, rate := run(avoid)
+		return migResult{mig, wt, rate}
+	})
+	migOn, wtOn, rateOn := res[0].migrations, res[0].wtPerK, res[0].kRefs
+	migOff, wtOff, rateOff := res[1].migrations, res[1].wtPerK, res[1].kRefs
 
 	t := stats.NewTable("Scheduler migration avoidance (Topaz policy vs naive FIFO)",
 		"policy", "migrations", "write-throughs/K instr", "per-CPU K refs/s")
@@ -148,9 +162,22 @@ func CVAXSpeedup(budget Budget) Outcome {
 	}
 
 	// The CVAX's four-times-larger cache quarters the miss rate (the
-	// design assumption of §5.2).
-	mvRate, mvLoad := measure(machine.MicroVAXConfig(4), 0.20)
-	cvRate, cvLoad := measure(machine.CVAXConfig(4), 0.05)
+	// design assumption of §5.2). The two systems are independent sweep
+	// points.
+	type sysPoint struct {
+		cfg  machine.Config
+		miss float64
+	}
+	type sysResult struct{ rate, load float64 }
+	res := SweepItems([]sysPoint{
+		{machine.MicroVAXConfig(4), 0.20},
+		{machine.CVAXConfig(4), 0.05},
+	}, func(p sysPoint) sysResult {
+		rate, load := measure(p.cfg, p.miss)
+		return sysResult{rate, load}
+	})
+	mvRate, mvLoad := res[0].rate, res[0].load
+	cvRate, cvLoad := res[1].rate, res[1].load
 
 	speedup := cvRate / mvRate
 	t := stats.NewTable("MicroVAX vs CVAX Firefly (4 CPUs, same workload)",
@@ -223,8 +250,13 @@ func QBusLoad(budget Budget) Outcome {
 		return rep.BusLoad, rep.MeanCPU().Total / 1000
 	}
 
-	quietLoad, quietRate := run(false)
-	floodLoad, floodRate := run(true)
+	type qbusResult struct{ load, rate float64 }
+	res := SweepItems([]bool{false, true}, func(flood bool) qbusResult {
+		load, rate := run(flood)
+		return qbusResult{load, rate}
+	})
+	quietLoad, quietRate := res[0].load, res[0].rate
+	floodLoad, floodRate := res[1].load, res[1].rate
 	t := stats.NewTable("QBus DMA vs MBus bandwidth (1 computing CPU)",
 		"condition", "bus load", "CPU K refs/s")
 	t.AddRow("no I/O", fmt.Sprintf("%.2f", quietLoad), fmt.Sprintf("%.0f", quietRate))
@@ -253,20 +285,31 @@ func ParallelMake(budget Budget) Outcome {
 	}
 	t := stats.NewTable("Parallel make: rebuild with fan-out "+fmt.Sprint(leaves),
 		"CPUs", "makespan (Mcycles)", "speedup")
-	var base float64
-	for _, n := range []int{1, 2, 4, 6} {
+	// The CPU-count sweep points are independent builds; the speedup
+	// column (relative to the first finished point) is derived after
+	// ordered collection.
+	ns := []int{1, 2, 4, 6}
+	type makeResult struct {
+		mcycles float64
+		ok      bool
+	}
+	results := SweepItems(ns, func(n int) makeResult {
 		m := machine.New(machine.MicroVAXConfig(n))
 		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, AvoidMigration: true})
 		res := workload.RunMake(k, workload.StandardBuild(leaves, cost), maxCycles)
-		if !res.OK {
+		return makeResult{float64(res.Cycles) / 1e6, res.OK}
+	})
+	var base float64
+	for i, n := range ns {
+		r := results[i]
+		if !r.ok {
 			t.AddRow(fmt.Sprintf("%d", n), "DNF", "-")
 			continue
 		}
-		mc := float64(res.Cycles) / 1e6
 		if base == 0 {
-			base = mc
+			base = r.mcycles
 		}
-		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", mc), fmt.Sprintf("%.2f", base/mc))
+		t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%.2f", r.mcycles), fmt.Sprintf("%.2f", base/r.mcycles))
 	}
 	text := t.String() + `
 Speedup saturates at the build's parallelism limit (the serial scan/
@@ -308,7 +351,9 @@ func LineSizeAblation(budget Budget) Outcome {
 	cycles := budget.cycles(300_000, 3_000_000)
 	ts := stats.NewTable("Line size ablation (simulated, 5-processor system, working-set workload)",
 		"line bytes", "miss rate", "bus load", "per-CPU K refs/s")
-	for _, lw := range []int{1, 2, 4, 8} {
+	lws := []int{1, 2, 4, 8}
+	type lineResult struct{ miss, load, krefs float64 }
+	simmed := SweepItems(lws, func(lw int) lineResult {
 		cfg := machine.MicroVAXConfig(5)
 		cfg.LineWords = lw
 		m := machine.New(cfg)
@@ -323,8 +368,12 @@ func LineSizeAblation(budget Budget) Outcome {
 		m.Run(cycles)
 		rep := m.Report()
 		mean := rep.MeanCPU()
-		ts.AddRow(fmt.Sprintf("%d", lw*4), fmt.Sprintf("%.3f", mean.MissRate),
-			fmt.Sprintf("%.2f", rep.BusLoad), fmt.Sprintf("%.0f", mean.Total/1000))
+		return lineResult{mean.MissRate, rep.BusLoad, mean.Total / 1000}
+	})
+	for i, lw := range lws {
+		r := simmed[i]
+		ts.AddRow(fmt.Sprintf("%d", lw*4), fmt.Sprintf("%.3f", r.miss),
+			fmt.Sprintf("%.2f", r.load), fmt.Sprintf("%.0f", r.krefs))
 	}
 
 	text := t.String() + "\n" + ts.String() + `
@@ -362,8 +411,8 @@ func OnChipDataAblation(budget Budget) Outcome {
 		return float64(instr) / rep.Seconds
 	}
 
-	off := measure(false)
-	on := measure(true)
+	res := SweepItems([]bool{false, true}, measure)
+	off, on := res[0], res[1]
 	t := stats.NewTable("CVAX on-chip cache: instruction-only vs instructions+data",
 		"configuration", "K instr/s (4 CPUs)")
 	t.AddRow("I-only (as shipped)", fmt.Sprintf("%.0f", off/1000))

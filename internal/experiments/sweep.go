@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sweep engine runs the independent points of a parameter sweep —
+// one simulated machine per point — on a bounded worker pool. Every
+// sweep-shaped experiment in this package (Table1Sim, the protocol
+// bake-off, the line-size and scheduler ablations, the parallel make
+// scaling study) submits its points through Sweep.
+//
+// Determinism contract (also documented in DESIGN.md):
+//
+//   - Every point builds its own machine with a fixed per-point seed, so
+//     a point's result depends only on its index, never on scheduling.
+//   - Results are collected in submission order: Sweep returns a slice
+//     whose i'th element is the result of point i, regardless of which
+//     worker ran it or when it finished.
+//   - Consequently an experiment's Outcome.Text is byte-identical
+//     whether the sweep ran on one worker or on GOMAXPROCS workers.
+//
+// Machines are not safe for concurrent use; the pool never shares a
+// machine between workers — parallelism is strictly across points.
+
+// sweepWorkers is the configured pool size; 0 selects the default
+// (runtime.GOMAXPROCS(0)). It is atomic so tests and command-line flags
+// can adjust it while benchmarks read it from other goroutines.
+var sweepWorkers atomic.Int32
+
+// Workers returns the worker-pool size sweeps will use.
+func Workers() int {
+	if n := int(sweepWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers sets the sweep worker-pool size and returns the previous
+// setting. n < 1 restores the default (GOMAXPROCS). The fireflysim and
+// tables commands expose this as -workers.
+func SetWorkers(n int) (prev int) {
+	if n < 1 {
+		n = 0
+	}
+	return int(sweepWorkers.Swap(int32(n)))
+}
+
+// Sweep runs fn(0), fn(1), ..., fn(n-1) on up to Workers() goroutines
+// and returns the results in submission (index) order. fn must be
+// self-contained per point: it builds, runs, and measures its own
+// machine and must not touch state shared with other points.
+func Sweep[R any](n int, fn func(point int) R) []R {
+	if n <= 0 {
+		return nil
+	}
+	results := make([]R, n)
+	workers := Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			results[i] = fn(i)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				results[i] = fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// SweepItems is Sweep over a slice: it runs fn on every element of items
+// concurrently and returns the results in element order.
+func SweepItems[T, R any](items []T, fn func(item T) R) []R {
+	return Sweep(len(items), func(i int) R { return fn(items[i]) })
+}

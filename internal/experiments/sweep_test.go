@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSweepOrdering(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 16} {
+		prev := SetWorkers(workers)
+		got := Sweep(100, func(i int) int { return i * i })
+		SetWorkers(prev)
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	if got := Sweep(0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Sweep(0) = %v, want nil", got)
+	}
+	if got := SweepItems(nil, func(s string) string { return s }); got != nil {
+		t.Fatalf("SweepItems(nil) = %v, want nil", got)
+	}
+}
+
+func TestSweepItemsOrdering(t *testing.T) {
+	prev := SetWorkers(4)
+	defer SetWorkers(prev)
+	items := []string{"a", "b", "c", "d", "e"}
+	got := SweepItems(items, func(s string) string { return s + s })
+	for i, s := range items {
+		if got[i] != s+s {
+			t.Fatalf("result[%d] = %q, want %q", i, got[i], s+s)
+		}
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	orig := SetWorkers(3)
+	defer SetWorkers(orig)
+	if w := Workers(); w != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", w)
+	}
+	if prev := SetWorkers(0); prev != 3 {
+		t.Fatalf("SetWorkers returned prev=%d, want 3", prev)
+	}
+	if w := Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d with default, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestSweepDeterministic is the sweep engine's central promise: every
+// converted experiment produces byte-identical output whether its points
+// run on one worker or on a full pool. Run with -race this also shakes
+// out data races between concurrently built machines.
+func TestSweepDeterministic(t *testing.T) {
+	experiments := []struct {
+		name string
+		run  func(Budget) Outcome
+	}{
+		{"Table1Sim", Table1Sim},
+		{"ProtocolComparison", ProtocolComparison},
+		{"LineSizeAblation", LineSizeAblation},
+		{"ParallelMake", ParallelMake},
+		{"CVAXSpeedup", CVAXSpeedup},
+		{"MigrationAblation", MigrationAblation},
+		{"OnChipDataAblation", OnChipDataAblation},
+		{"QBusLoad", QBusLoad},
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		// Even on a small runner, oversubscribing exercises the
+		// concurrent path and interleaves completion order.
+		workers = 4
+	}
+	// SetWorkers is process-global, so the subtests must not run in
+	// parallel with each other: a concurrent SetWorkers(1) would quietly
+	// turn the "serial" leg into a parallel one.
+	defer SetWorkers(SetWorkers(0))
+	for _, ex := range experiments {
+		t.Run(ex.name, func(t *testing.T) {
+			SetWorkers(1)
+			serial := ex.run(Quick).Text
+			SetWorkers(workers)
+			parallel := ex.run(Quick).Text
+			if serial != parallel {
+				t.Fatalf("%s: output differs between 1 worker and %d workers\n--- serial ---\n%s\n--- parallel ---\n%s",
+					ex.name, workers, serial, parallel)
+			}
+		})
+	}
+}

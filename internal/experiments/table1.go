@@ -55,7 +55,8 @@ func SimulateTable1Point(np int, cycles uint64) Table1SimPoint {
 }
 
 // Table1Sim cross-checks the analytic Table 1 against the cycle
-// simulator.
+// simulator. Each NP column is an independent machine, so the columns
+// run as sweep points on the worker pool.
 func Table1Sim(budget Budget) Outcome {
 	cycles := budget.cycles(400_000, 4_000_000)
 	nps := model.Table1NPs
@@ -66,9 +67,12 @@ func Table1Sim(budget Budget) Outcome {
 	t := stats.NewTable(
 		"Table 1 cross-check: analytic model vs cycle simulation",
 		"NP", "L(model)", "L(sim)", "TPI(model)", "TPI(sim)", "TP(model)", "TP(sim)")
-	for _, np := range nps {
+	points := SweepItems(nps, func(np int) Table1SimPoint {
+		return SimulateTable1Point(np, cycles)
+	})
+	for i, np := range nps {
 		mp := p.At(np)
-		sp := SimulateTable1Point(np, cycles)
+		sp := points[i]
 		t.AddRow(
 			fmt.Sprintf("%d", np),
 			fmt.Sprintf("%.2f", mp.L), fmt.Sprintf("%.2f", sp.Load),

@@ -7,6 +7,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"firefly/internal/core"
@@ -117,6 +118,16 @@ func (c Config) Validate() error {
 // controller's microengine).
 type Stepper interface {
 	Step()
+}
+
+// IdleStepper is an optional Stepper extension for devices that can
+// report quiescence. Idle must return true only when future Steps are
+// guaranteed to do nothing until new work is submitted from outside the
+// cycle loop; Run uses it to advance idle stretches in bulk. Devices
+// that do not implement it are conservatively assumed always active.
+type IdleStepper interface {
+	Stepper
+	Idle() bool
 }
 
 // Machine is an assembled Firefly system.
@@ -334,16 +345,55 @@ func (m *Machine) Step() {
 	}
 }
 
-// Run advances the machine by n cycles.
+// Run advances the machine by n cycles. When the machine is provably
+// quiescent — every processor halted, every cache idle, the bus empty
+// with no requests pending, and every device reporting idle — the
+// remaining cycles advance in one bulk clock jump instead of touring
+// every component per cycle (the hot-loop fast path for DMA drains,
+// scripted rigs, and halted-CPU measurement harnesses). The skip is
+// behaviour-identical to stepping: a quiescent machine changes no state
+// other than the clock and the bus cycle counter.
 func (m *Machine) Run(n uint64) {
 	for i := uint64(0); i < n; i++ {
+		if m.quiescent() {
+			remaining := n - i
+			m.clock.Advance(sim.Cycle(remaining))
+			m.bus.SkipIdle(remaining)
+			return
+		}
 		m.Step()
 	}
 }
 
-// RunSeconds advances the machine by the given simulated time.
+// quiescent reports whether a Step would change nothing but the clock.
+// The processor check comes first: it is a cheap flag load and fails
+// immediately on any running machine, keeping the fast-path test out of
+// the way of normal execution.
+func (m *Machine) quiescent() bool {
+	for _, p := range m.cpus {
+		if !p.Halted() {
+			return false
+		}
+	}
+	for _, c := range m.caches {
+		if !c.Idle() {
+			return false
+		}
+	}
+	for _, d := range m.devices {
+		is, ok := d.(IdleStepper)
+		if !ok || !is.Idle() {
+			return false
+		}
+	}
+	return m.bus.Quiescent()
+}
+
+// RunSeconds advances the machine by the given simulated time, rounded
+// to the nearest whole cycle (truncation silently lost a cycle for
+// wall-times that are not exact cycle multiples).
 func (m *Machine) RunSeconds(s float64) {
-	m.Run(uint64(s * 1e9 / sim.CycleNS))
+	m.Run(uint64(math.Round(s * 1e9 / sim.CycleNS)))
 }
 
 // Warmup runs the machine for n cycles and then clears every statistic,

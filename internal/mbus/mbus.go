@@ -307,6 +307,34 @@ func (b *Bus) Tracer() *obs.Tracer { return b.tracer }
 // Busy reports whether an operation is in flight.
 func (b *Bus) Busy() bool { return b.active }
 
+// Quiescent reports whether the bus is provably doing nothing: no
+// operation in flight and no attached initiator requesting service.
+// BusRequest polling is side-effect-free by contract (agents must keep
+// returning the same request until granted), so the probe does not
+// perturb arbitration. The machine's run loop uses this to skip idle
+// stretches in bulk.
+func (b *Bus) Quiescent() bool {
+	if b.active {
+		return false
+	}
+	for i := range b.ports {
+		in := b.ports[i].initiator
+		if in == nil {
+			continue
+		}
+		if _, ok := in.BusRequest(); ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SkipIdle accounts n cycles during which the caller has established the
+// bus would only have idled: the cycle counter advances with no busy,
+// wait, or operation accounting, exactly as n idle Steps would have
+// left it. The caller is responsible for advancing the machine clock.
+func (b *Bus) SkipIdle(n uint64) { b.stats.Cycles += n }
+
 // Interrupt delivers an MBus interprocessor interrupt to the agent on the
 // target port. Delivery is immediate; the hardware used dedicated bus
 // facilities that did not contend with data transfers.

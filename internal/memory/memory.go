@@ -19,13 +19,20 @@ const (
 	CVAXModuleBytes     = 32 << 20 // second-version modules
 )
 
+// pageWords is the allocation granule of the sparse word store: 16 K
+// longwords (64 KB). Pages materialize on first write; untouched pages
+// cost one nil slot in the page table.
+const pageWords = 1 << 14
+
 // Module is one storage board. Storage is word-granular and sparse: a
 // word never written reads as zero, as DRAM contents are undefined anyway
-// and the simulator zero-fills.
+// and the simulator zero-fills. The store is a lazily populated page
+// table rather than a map — storage is touched on every MBus operation,
+// and map lookups dominated the simulator's per-cycle profile.
 type Module struct {
 	base  mbus.Addr
 	size  uint32
-	words map[mbus.Addr]uint32
+	pages [][]uint32 // indexed by word-index >> log2(pageWords); nil = zeroes
 
 	reads  uint64
 	writes uint64
@@ -39,7 +46,34 @@ func NewModule(base mbus.Addr, size uint32) *Module {
 	if uint32(base)%4 != 0 {
 		panic(fmt.Sprintf("memory: misaligned module base %v", base))
 	}
-	return &Module{base: base, size: size, words: make(map[mbus.Addr]uint32)}
+	nPages := (size/4 + pageWords - 1) / pageWords
+	return &Module{base: base, size: size, pages: make([][]uint32, nPages)}
+}
+
+// wordIndex returns addr's longword index relative to the module base.
+func (m *Module) wordIndex(addr mbus.Addr) uint32 {
+	return uint32(addr.Line()-m.base) >> 2
+}
+
+// peek returns the stored word without counter effects.
+func (m *Module) peek(addr mbus.Addr) uint32 {
+	w := m.wordIndex(addr)
+	page := m.pages[w/pageWords]
+	if page == nil {
+		return 0
+	}
+	return page[w%pageWords]
+}
+
+// poke stores a word without counter effects, materializing its page.
+func (m *Module) poke(addr mbus.Addr, data uint32) {
+	w := m.wordIndex(addr)
+	page := m.pages[w/pageWords]
+	if page == nil {
+		page = make([]uint32, pageWords)
+		m.pages[w/pageWords] = page
+	}
+	page[w%pageWords] = data
 }
 
 // Base returns the module's first byte address.
@@ -55,12 +89,12 @@ func (m *Module) Contains(addr mbus.Addr) bool {
 
 func (m *Module) read(addr mbus.Addr) uint32 {
 	m.reads++
-	return m.words[addr.Line()]
+	return m.peek(addr)
 }
 
 func (m *Module) write(addr mbus.Addr, data uint32) {
 	m.writes++
-	m.words[addr.Line()] = data
+	m.poke(addr, data)
 }
 
 // Accesses returns the module's read and write counts.
@@ -154,7 +188,7 @@ func (s *System) Peek(addr mbus.Addr) uint32 {
 	if m == nil {
 		return 0
 	}
-	return m.words[addr.Line()]
+	return m.peek(addr)
 }
 
 // Poke writes a word without touching the access counters, for loading
@@ -164,7 +198,7 @@ func (s *System) Poke(addr mbus.Addr, data uint32) {
 	if m == nil {
 		panic(fmt.Sprintf("memory: Poke outside populated storage: %v", addr))
 	}
-	m.words[addr.Line()] = data
+	m.poke(addr, data)
 }
 
 var _ mbus.Memory = (*System)(nil)

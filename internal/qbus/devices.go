@@ -131,6 +131,10 @@ func (d *Disk) QueueLen() int { return len(d.queue) }
 // Busy reports whether a command is queued or in progress.
 func (d *Disk) Busy() bool { return d.cur != nil || len(d.queue) > 0 }
 
+// Idle reports that no command is queued or in progress (seek delays are
+// part of the current command). It satisfies machine.IdleStepper.
+func (d *Disk) Idle() bool { return !d.Busy() }
+
 // Step advances the controller one cycle.
 func (d *Disk) Step() {
 	if d.cur != nil {
@@ -254,6 +258,10 @@ func (e *Ethernet) Stats() EthernetStats { return e.stats }
 
 // Busy reports whether operations are queued or in progress.
 func (e *Ethernet) Busy() bool { return e.cur != nil || len(e.queue) > 0 }
+
+// Idle reports that no operation is queued or in progress (wire time is
+// part of the current operation). It satisfies machine.IdleStepper.
+func (e *Ethernet) Idle() bool { return !e.Busy() }
 
 // Transmit queues a packet send: words longwords DMA'd from QBus address
 // qaddr, then serialized onto the wire. onDone (optional) receives the

@@ -189,6 +189,13 @@ func (e *Engine) Stats() EngineStats {
 // Busy reports whether transfers are queued or in progress.
 func (e *Engine) Busy() bool { return e.cur != nil || len(e.queue) > 0 }
 
+// Idle reports that the engine has no queued or current transfer and no
+// bus request pending or in flight, so further Steps are no-ops until a
+// new Submit. It satisfies machine.IdleStepper.
+func (e *Engine) Idle() bool {
+	return e.cur == nil && len(e.queue) == 0 && !e.reqValid && !e.inFlight
+}
+
 // QueueLen returns the number of pending transfers (excluding the current).
 func (e *Engine) QueueLen() int { return len(e.queue) }
 

@@ -1,0 +1,57 @@
+// Tests pinning the performance contracts DESIGN.md documents: the
+// observability layer's per-cycle cost when tracing into a ring buffer
+// must stay within its documented bound over the untraced machine.
+package firefly_test
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"firefly"
+	"firefly/internal/machine"
+)
+
+// tracedOverheadBound is the documented ceiling (DESIGN.md "Tracing
+// overhead"): a ring-buffer capture may at most double the per-cycle
+// cost. Measured overhead is a few percent; the bound is generous so the
+// test survives noisy CI runners without going flaky.
+const tracedOverheadBound = 2.0
+
+func medianStepTime(m *machine.Machine, steps, trials int) time.Duration {
+	times := make([]time.Duration, trials)
+	for t := range times {
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			m.Step()
+		}
+		times[t] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[trials/2]
+}
+
+func TestTracedStepOverheadWithinBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	load := firefly.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05}
+	const steps, trials = 400_000, 5
+
+	plain := machine.New(machine.MicroVAXConfig(5))
+	plain.AttachSyntheticLoad(load)
+	plain.Warmup(10_000)
+	base := medianStepTime(plain, steps, trials)
+
+	traced := machine.New(machine.MicroVAXConfig(5))
+	traced.AttachSyntheticLoad(load)
+	traced.Trace(firefly.NewTraceRing(1 << 16))
+	traced.Warmup(10_000)
+	withTrace := medianStepTime(traced, steps, trials)
+
+	ratio := float64(withTrace) / float64(base)
+	t.Logf("untraced %v, traced %v per %d steps (ratio %.3f)", base, withTrace, steps, ratio)
+	if ratio > tracedOverheadBound {
+		t.Fatalf("traced Step costs %.2fx untraced, documented bound is %.1fx", ratio, tracedOverheadBound)
+	}
+}
