@@ -9,6 +9,8 @@
 //	fireflysim -cpus 4 -workload make
 //	fireflysim -cpus 2 -seconds 0.001 -trace out.json -trace-format chrome
 //	fireflysim -experiment table1sim -workers 4
+//	fireflysim -cpus 5 -check -seconds 0.005
+//	fireflysim -replay repro.replay
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 
 	"firefly"
+	"firefly/internal/check"
 	"firefly/internal/experiments"
 	"firefly/internal/machine"
 	"firefly/internal/obs"
@@ -42,7 +45,26 @@ func main() {
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
 	experiment := flag.String("experiment", "", "run a named sweep experiment instead of a single machine (see cmd/tables -list)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for -experiment (0 = one per CPU; output is identical for any value)")
+	checkFlag := flag.Bool("check", false, "run the coherence checker alongside the workload (oracle + invariant walks)")
+	replay := flag.String("replay", "", "re-execute a coherence-checker replay file and report the outcome")
 	flag.Parse()
+
+	if *replay != "" {
+		res, err := check.RunReplayFile(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("replay: %d checked ops, %d walks, %d cycles\n", res.Checked, res.Walks, res.Cycles)
+		if res.Ok() {
+			fmt.Println("replay: coherent (no violations)")
+			return
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("replay: VIOLATION %v\n", v)
+		}
+		os.Exit(1)
+	}
 
 	if *experiment != "" {
 		experiments.SetWorkers(*workers)
@@ -78,6 +100,16 @@ func main() {
 		cfg.CacheLines = *cacheLines
 	}
 	m := machine.New(cfg)
+
+	var checker *check.Checker
+	if *checkFlag {
+		var err error
+		checker, err = check.Attach(m)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	if *tracePath != "" {
 		if *traceFormat != "jsonl" && *traceFormat != "chrome" {
@@ -152,4 +184,20 @@ func main() {
 	}
 
 	fmt.Print(m.Report())
+
+	if checker != nil {
+		checker.Walk()
+		fmt.Printf("coherence check: %d checked ops, %d walks\n", checker.Checked(), checker.Walks())
+		if checker.Ok() {
+			fmt.Println("coherence check: PASS")
+		} else {
+			for _, v := range checker.Violations() {
+				fmt.Printf("coherence check: VIOLATION %v\n", v)
+			}
+			if n := checker.Dropped(); n > 0 {
+				fmt.Printf("coherence check: %d further violations not shown\n", n)
+			}
+			os.Exit(1)
+		}
+	}
 }

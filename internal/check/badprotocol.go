@@ -1,0 +1,58 @@
+package check
+
+import (
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// The deliberately broken protocols below exist to prove the checker can
+// catch real coherence failures: each takes the Firefly protocol and
+// removes one load-bearing rule. They are registered under ProtocolByName
+// (never in internal/coherence) so production machines cannot pick them up
+// by accident.
+
+const (
+	nameBadStaleSharer  = "bad-stale-sharer"
+	nameBadDoubleWriter = "bad-double-writer"
+)
+
+// BadStaleSharer is Firefly with the snoop update rule deleted: a sharer
+// still asserts MShared on another cache's write-through but no longer
+// absorbs the data, so its copy goes stale — the classic update-protocol
+// bug where the MShared wire and the data path disagree.
+type BadStaleSharer struct{ core.Firefly }
+
+// Name implements core.Protocol.
+func (BadStaleSharer) Name() string { return nameBadStaleSharer }
+
+// Snoop implements core.Protocol, dropping TakeData on snooped writes.
+func (b BadStaleSharer) Snoop(s core.State, op mbus.OpKind) core.SnoopAction {
+	a := b.Firefly.Snoop(s, op)
+	if op == mbus.MWrite {
+		a.TakeData = false
+	}
+	return a
+}
+
+// BadDoubleWriter is Firefly with conditional write-through deleted: a
+// write hitting a Shared line completes locally instead of broadcasting,
+// so two caches can hold divergent "Shared" copies and each CPU reads its
+// own private value — a sequential-coherence violation.
+type BadDoubleWriter struct{ core.Firefly }
+
+// Name implements core.Protocol.
+func (BadDoubleWriter) Name() string { return nameBadDoubleWriter }
+
+// WriteHitOp implements core.Protocol: never uses the bus.
+func (BadDoubleWriter) WriteHitOp(core.State) (mbus.OpKind, bool) {
+	return 0, false
+}
+
+// AfterWriteHit implements core.Protocol: the silently-written line keeps
+// its Shared tag (pretending nothing happened) unless it was exclusive.
+func (BadDoubleWriter) AfterWriteHit(s core.State, usedBus, shared bool) core.State {
+	if s.IsShared() {
+		return core.Shared
+	}
+	return core.Dirty
+}

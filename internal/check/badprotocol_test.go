@@ -1,0 +1,74 @@
+package check
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// badCfg is the stress configuration used to demonstrate checker
+// sensitivity: small enough to shrink fast, busy enough to trip quickly.
+func badCfg(protocol string) StressConfig {
+	return StressConfig{
+		Protocol:   protocol,
+		CPUs:       3,
+		CacheLines: 16,
+		LineWords:  1,
+		PoolLines:  4,
+		Ops:        2000,
+		Seed:       99,
+		WalkEvery:  4,
+	}
+}
+
+// TestBadProtocolsCaught: each deliberately broken protocol must trip the
+// checker, and the failing schedule must shrink to a tiny reproducer that
+// survives a replay-file round trip and still fails identically when
+// re-executed from the file — the full find/shrink/replay pipeline.
+func TestBadProtocolsCaught(t *testing.T) {
+	for _, name := range []string{nameBadStaleSharer, nameBadDoubleWriter} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := badCfg(name)
+			res, sched, err := RunStress(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ok() {
+				t.Fatalf("%s ran %d ops without tripping the checker", name, res.Checked)
+			}
+			sig := res.Signature()
+			t.Logf("%s: first violation %v", name, res.Violations[0])
+
+			shrunk := Shrink(cfg, sched, sig, 400)
+			if len(shrunk) > 50 {
+				t.Errorf("shrunk schedule has %d ops, want <= 50", len(shrunk))
+			}
+			sres, err := RunSchedule(cfg, shrunk)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sres.Signature() != sig {
+				t.Fatalf("shrunk schedule signature %q, want %q", sres.Signature(), sig)
+			}
+
+			path := filepath.Join(t.TempDir(), "repro.replay")
+			if err := SaveReplay(path, cfg, shrunk); err != nil {
+				t.Fatal(err)
+			}
+			rres, err := RunReplayFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rres.Signature() != sig {
+				t.Errorf("replayed signature %q, want %q", rres.Signature(), sig)
+			}
+			t.Logf("%s: shrunk %d -> %d ops, replay reproduces %q",
+				name, len(sched), len(shrunk), sig)
+			if data, err := os.ReadFile(path); err == nil && testing.Verbose() {
+				t.Logf("replay file:\n%s", data)
+			}
+		})
+	}
+}

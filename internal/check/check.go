@@ -1,0 +1,354 @@
+package check
+
+import (
+	"fmt"
+
+	"firefly/internal/core"
+	"firefly/internal/machine"
+	"firefly/internal/mbus"
+	"firefly/internal/memory"
+	"firefly/internal/obs"
+)
+
+// Violation is one detected coherence failure. Kind is a stable short
+// identifier ("load-value", "multi-dirty", ...) used as the failure
+// signature when shrinking a reproducer.
+type Violation struct {
+	Kind  string
+	Cycle uint64
+	Unit  int
+	Addr  mbus.Addr
+	// Got and Want are the offending and expected values (kind-specific).
+	Got, Want uint64
+	// Detail is a human explanation.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d unit %d addr %#x: %s: got %#x want %#x (%s)",
+		v.Cycle, v.Unit, uint32(v.Addr), v.Kind, v.Got, v.Want, v.Detail)
+}
+
+// maxViolations bounds the stored violations; checking continues past the
+// bound but further failures are only counted.
+const maxViolations = 16
+
+// defaultWalkEvery is the full-walk cadence in completed bus operations.
+const defaultWalkEvery = 16
+
+// Checker is a sequentially-coherent reference memory oracle plus a
+// cycle-level invariant walker, driven entirely by observability events.
+// It implements obs.Observer; attach it with machine.Trace (or Attach).
+//
+// The oracle holds the single legal value of every word it has seen: bus
+// writes update it at the operation's serialization point (cycle 3, when
+// snoopers commit), local write hits update it immediately, and every
+// value a CPU load produces is checked against it. The walker
+// additionally sweeps all cache tags and main storage for structural
+// invariants: legal states, a single dirty owner, identical copies, and
+// clean lines agreeing with memory.
+type Checker struct {
+	caches    []*core.Cache
+	mem       *memory.System
+	bus       *mbus.Bus
+	prof      Profile
+	lineWords int
+
+	// vals is the reference memory: word address -> last coherent value.
+	// Absent addresses are unknown and adopted on first sight.
+	vals map[mbus.Addr]uint32
+
+	checked    uint64
+	opCount    uint64
+	walkEvery  uint64
+	walks      uint64
+	lastCycle  uint64
+	violations []Violation
+	dropped    uint64
+}
+
+// New builds a checker over an explicitly assembled rig. Most callers use
+// Attach instead. bus may be nil (no in-flight line to skip during walks).
+func New(caches []*core.Cache, mem *memory.System, bus *mbus.Bus, prof Profile) *Checker {
+	lw := 1
+	if len(caches) > 0 {
+		lw = caches[0].LineWords()
+	}
+	return &Checker{
+		caches:    caches,
+		mem:       mem,
+		bus:       bus,
+		prof:      prof,
+		lineWords: lw,
+		vals:      make(map[mbus.Addr]uint32),
+		walkEvery: defaultWalkEvery,
+	}
+}
+
+// Attach builds a checker for a machine and registers it with the
+// machine's tracer. It fails if the machine's protocol has no checking
+// profile.
+func Attach(m *machine.Machine) (*Checker, error) {
+	prof, ok := ProfileFor(m.Config().Protocol)
+	if !ok {
+		return nil, fmt.Errorf("check: no profile for protocol %q", m.Config().Protocol.Name())
+	}
+	c := New(m.Caches(), m.Memory(), m.Bus(), prof)
+	m.Trace(c)
+	return c, nil
+}
+
+// SetWalkEvery sets the full-walk cadence in completed bus operations
+// (0 disables periodic walks; Walk can still be called explicitly).
+func (c *Checker) SetWalkEvery(n uint64) { c.walkEvery = n }
+
+// Seed records the current memory contents of the given word addresses as
+// the oracle's initial values, so even the first load of an address is
+// checked rather than adopted.
+func (c *Checker) Seed(addrs []mbus.Addr) {
+	for _, a := range addrs {
+		c.vals[a] = c.mem.Peek(a)
+	}
+}
+
+// Checked returns the number of oracle-validated operations (loads,
+// stores, and bus data transfers).
+func (c *Checker) Checked() uint64 { return c.checked }
+
+// Walks returns the number of full invariant walks performed.
+func (c *Checker) Walks() uint64 { return c.walks }
+
+// Violations returns the recorded violations (capped; see Dropped).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Dropped returns how many violations past the storage cap were counted
+// but not recorded.
+func (c *Checker) Dropped() uint64 { return c.dropped }
+
+// Ok reports whether no violation has been detected.
+func (c *Checker) Ok() bool { return len(c.violations) == 0 }
+
+// First returns the first violation, or nil.
+func (c *Checker) First() *Violation {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	return &c.violations[0]
+}
+
+func (c *Checker) fail(v Violation) {
+	if v.Cycle == 0 {
+		// Walk-origin violations have no triggering event; stamp them
+		// with the cycle of the last event observed.
+		v.Cycle = c.lastCycle
+	}
+	if len(c.violations) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, v)
+}
+
+func (c *Checker) lineBase(addr mbus.Addr) mbus.Addr {
+	return addr &^ mbus.Addr(c.lineWords*4-1)
+}
+
+// Observe implements obs.Observer.
+func (c *Checker) Observe(e obs.Event) {
+	c.lastCycle = e.Cycle
+	switch e.Kind {
+	case obs.KindCacheLoad:
+		c.checked++
+		addr := mbus.Addr(e.Addr)
+		want, known := c.vals[addr]
+		if !known {
+			c.vals[addr] = uint32(e.A)
+			return
+		}
+		if uint32(e.A) != want {
+			c.fail(Violation{
+				Kind: "load-value", Cycle: e.Cycle, Unit: int(e.Unit),
+				Addr: addr, Got: e.A, Want: uint64(want),
+				Detail: "CPU load disagrees with the reference memory",
+			})
+		}
+
+	case obs.KindCacheStore:
+		// A store serialized without a data-carrying bus operation: a
+		// local write hit (B=1) or an MInv-broadcast write (B=0). Either
+		// way it defines the word's new coherent value.
+		c.checked++
+		c.vals[mbus.Addr(e.Addr)] = uint32(e.A)
+
+	case obs.KindBusStore:
+		// A data-carrying bus operation (MWrite/MUpdate) at its
+		// serialization point. A victim write-back word (B=1) must carry
+		// the value the oracle already expects — a stale victim is the
+		// write-back race the checker exists to catch.
+		c.checked++
+		addr := mbus.Addr(e.Addr)
+		if e.B == 1 {
+			if want, known := c.vals[addr]; known && uint32(e.A) != want {
+				c.fail(Violation{
+					Kind: "victim-stale", Cycle: e.Cycle, Unit: int(e.Unit),
+					Addr: addr, Got: e.A, Want: uint64(want),
+					Detail: "victim write-back carries a superseded value",
+				})
+			}
+		}
+		c.vals[addr] = uint32(e.A)
+
+	case obs.KindCacheState:
+		from, to := core.State(e.A), core.State(e.B)
+		if !c.prof.Legal[to] {
+			c.fail(Violation{
+				Kind: "illegal-state", Cycle: e.Cycle, Unit: int(e.Unit),
+				Addr: mbus.Addr(e.Addr), Got: e.B, Want: uint64(from),
+				Detail: c.prof.Proto.Name() + " lines never enter " + to.String(),
+			})
+		} else if !c.prof.Arcs[from][to] {
+			c.fail(Violation{
+				Kind: "illegal-arc", Cycle: e.Cycle, Unit: int(e.Unit),
+				Addr: mbus.Addr(e.Addr), Got: e.B, Want: uint64(from),
+				Detail: "no protocol rule produces " + from.String() + " -> " + to.String(),
+			})
+		}
+
+	case obs.KindBusOp:
+		if e.B == 0 {
+			c.checkSharedWire(e)
+		}
+		c.opCount++
+		if c.walkEvery > 0 && c.opCount%c.walkEvery == 0 {
+			c.Walk()
+		}
+	}
+}
+
+// checkSharedWire verifies a clear MShared response: every protocol in the
+// suite asserts MShared on any snoop hit, so if the wire resolved clear no
+// cache other than the initiator may hold the line once the operation
+// completes.
+func (c *Checker) checkSharedWire(e obs.Event) {
+	line := c.lineBase(mbus.Addr(e.Addr))
+	for i, ch := range c.caches {
+		if i == int(e.Unit) {
+			continue
+		}
+		if st := ch.LineState(line); st.Valid() {
+			c.fail(Violation{
+				Kind: "shared-wire", Cycle: e.Cycle, Unit: i,
+				Addr: line, Got: uint64(st), Want: uint64(core.Invalid),
+				Detail: "cache holds the line but MShared resolved clear",
+			})
+		}
+	}
+}
+
+// holderRecord is one cache's committed copy of a line during a walk.
+type holderRecord struct {
+	cache int
+	state core.State
+}
+
+// Walk sweeps every committed cache line and main storage for the
+// structural invariants: states legal for the protocol, at most one dirty
+// copy per line (and a Dirty or Exclusive copy strictly sole), identical
+// data in every copy, agreement with the reference memory, and — when no
+// dirty owner exists — agreement with main storage. The line addressed by
+// an in-flight bus operation is skipped: its initiator commits at cycle 4
+// and the line is mid-transition.
+func (c *Checker) Walk() {
+	c.walks++
+	var skipLine mbus.Addr
+	skipActive := false
+	if c.bus != nil {
+		if _, addr, active := c.bus.InFlight(); active {
+			skipLine, skipActive = c.lineBase(addr), true
+		}
+	}
+	lines := make(map[mbus.Addr][]holderRecord)
+	for ci, ch := range c.caches {
+		for idx := 0; idx < ch.Lines(); idx++ {
+			base, ok := ch.ResidentLine(idx)
+			if !ok {
+				continue
+			}
+			if skipActive && base == skipLine {
+				continue
+			}
+			st := ch.LineState(base)
+			if !c.prof.Legal[st] {
+				c.fail(Violation{
+					Kind: "illegal-state", Unit: ci, Addr: base, Got: uint64(st),
+					Detail: c.prof.Proto.Name() + " lines never enter " + st.String(),
+				})
+			}
+			lines[base] = append(lines[base], holderRecord{ci, st})
+		}
+	}
+	for base, holders := range lines {
+		c.walkLine(base, holders)
+	}
+}
+
+func (c *Checker) walkLine(base mbus.Addr, holders []holderRecord) {
+	dirty := 0
+	for _, h := range holders {
+		if h.state.IsDirty() {
+			dirty++
+		}
+		if (h.state == core.Dirty || h.state == core.Exclusive) && len(holders) > 1 {
+			c.fail(Violation{
+				Kind: "dirty-not-sole", Unit: h.cache, Addr: base,
+				Got: uint64(h.state), Want: uint64(len(holders)),
+				Detail: h.state.String() + " line held by more than one cache",
+			})
+		}
+	}
+	if dirty > 1 {
+		c.fail(Violation{
+			Kind: "multi-dirty", Addr: base, Got: uint64(dirty), Want: 1,
+			Detail: "more than one cache owns the line dirty",
+		})
+	}
+	for w := 0; w < c.lineWords; w++ {
+		addr := base + mbus.Addr(w*4)
+		first := uint32(0)
+		have := false
+		for _, h := range holders {
+			v, ok := c.caches[h.cache].PeekWord(addr)
+			if !ok {
+				continue
+			}
+			if !have {
+				first, have = v, true
+			} else if v != first {
+				c.fail(Violation{
+					Kind: "divergent-copies", Unit: h.cache, Addr: addr,
+					Got: uint64(v), Want: uint64(first),
+					Detail: "two caches hold different data for one word",
+				})
+			}
+		}
+		if !have {
+			continue
+		}
+		if want, known := c.vals[addr]; known && first != want {
+			c.fail(Violation{
+				Kind: "stale-copy", Addr: addr, Got: uint64(first), Want: uint64(want),
+				Detail: "cached copy disagrees with the reference memory",
+			})
+		}
+		if dirty == 0 && c.prof.CleanMatchesMemory {
+			if mv := c.mem.Peek(addr); mv != first {
+				c.fail(Violation{
+					Kind: "memory-stale", Addr: addr, Got: uint64(first), Want: uint64(mv),
+					Detail: "clean copies disagree with main storage",
+				})
+			}
+		}
+	}
+}
+
+var _ obs.Observer = (*Checker)(nil)

@@ -1,0 +1,163 @@
+// Package check is the coherence checking layer: a sequentially-coherent
+// reference memory oracle run in lockstep with a machine, a cycle-level
+// invariant walker over every cache and main storage, and a randomized
+// protocol stress generator with failing-schedule shrinking and replay.
+//
+// The checker attaches through the observability tracer (internal/obs), so
+// a machine built without it pays nothing: every emission site stays a
+// single nil test.
+package check
+
+import (
+	"firefly/internal/coherence"
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// Profile is what the checker knows about one protocol: which states its
+// lines may occupy, which Figure 3 arcs its rules can produce, which bus
+// operations its machines emit, and whether clean copies must agree with
+// main storage.
+type Profile struct {
+	// Proto is the protocol being checked.
+	Proto core.Protocol
+	// Legal marks the states a line may legally occupy. MESI, for
+	// example, never uses SharedDirty; write-through-invalidate never
+	// dirties a line at all.
+	Legal [core.NumStates]bool
+	// Arcs[from][to] marks the state transitions the protocol's own
+	// rules, composed with the controller's mechanics (fills, victims,
+	// write-back aborts), can produce. Any other arc is controller
+	// corruption.
+	Arcs [core.NumStates][core.NumStates]bool
+	// Ops is the bus-operation vocabulary the protocol's machines emit.
+	Ops []mbus.OpKind
+	// CleanMatchesMemory asserts that whenever no cache holds a line
+	// dirty, every cached copy equals main storage. It holds for the
+	// whole suite: the ownership protocols (Berkeley, Dragon) let memory
+	// go stale only while a dirty owner exists.
+	CleanMatchesMemory bool
+}
+
+// legalStates returns the profile's legal states in enum order.
+func (p Profile) legalStates() []core.State {
+	var out []core.State
+	for s := core.State(0); s < core.NumStates; s++ {
+		if p.Legal[s] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// deriveArcs builds the transition legality table from the protocol's own
+// rule set plus the controller mechanics that move states outside those
+// rules: replacement fills land in a line whose previous (clean) state is
+// overwritten, dirty victims write back to Invalid, and a victim
+// write-back abandoned because a snoop stripped its dirt drops the line.
+func deriveArcs(p core.Protocol, legal []core.State, ops []mbus.OpKind) [core.NumStates][core.NumStates]bool {
+	var arcs [core.NumStates][core.NumStates]bool
+	add := func(from, to core.State) { arcs[from][to] = true }
+	for _, s := range legal {
+		if s.Valid() {
+			// Another cache's bus operation snooped against a held line.
+			for _, op := range ops {
+				add(s, p.Snoop(s, op).Next)
+			}
+			// A CPU write hit (including the write completing a write
+			// fill, which the controller performs as a hit).
+			if _, needBus := p.WriteHitOp(s); needBus {
+				add(s, p.AfterWriteHit(s, true, true))
+				add(s, p.AfterWriteHit(s, true, false))
+			} else {
+				add(s, p.AfterWriteHit(s, false, false))
+			}
+			// Victim write-back completion (dirty lines) and the
+			// stripped-victim abort (clean lines) both end Invalid.
+			add(s, core.Invalid)
+		}
+		if !s.IsDirty() {
+			// A miss may replace a line in any clean state without an
+			// intervening event; the arc runs from the replaced line's
+			// state straight to the fill result.
+			for _, w := range []bool{false, true} {
+				for _, sh := range []bool{false, true} {
+					add(s, p.AfterFill(w, sh))
+				}
+			}
+			if p.WriteMissDirect() {
+				add(s, p.AfterDirectWriteMiss(false))
+				add(s, p.AfterDirectWriteMiss(true))
+			}
+		}
+	}
+	return arcs
+}
+
+// opVocab is the bus-operation vocabulary per protocol family.
+var (
+	opsUpdateFirefly = []mbus.OpKind{mbus.MRead, mbus.MWrite}
+	opsUpdateDragon  = []mbus.OpKind{mbus.MRead, mbus.MWrite, mbus.MUpdate}
+	opsInvalidate    = []mbus.OpKind{mbus.MRead, mbus.MWrite, mbus.MReadOwn, mbus.MInv}
+)
+
+func legalSet(states ...core.State) [core.NumStates]bool {
+	var out [core.NumStates]bool
+	for _, s := range states {
+		out[s] = true
+	}
+	return out
+}
+
+// ProfileFor returns the checking profile for a protocol. The second
+// result reports whether the protocol is known to the checker.
+func ProfileFor(proto core.Protocol) (Profile, bool) {
+	var legal [core.NumStates]bool
+	var ops []mbus.OpKind
+	switch proto.Name() {
+	case "firefly", nameBadStaleSharer, nameBadDoubleWriter:
+		legal = legalSet(core.Invalid, core.Exclusive, core.Dirty, core.Shared)
+		ops = opsUpdateFirefly
+	case "write-through-invalidate":
+		legal = legalSet(core.Invalid, core.Exclusive, core.Shared)
+		ops = opsUpdateFirefly
+	case "dragon":
+		legal = legalSet(core.Invalid, core.Exclusive, core.Dirty, core.Shared, core.SharedDirty)
+		ops = opsUpdateDragon
+	case "mesi":
+		legal = legalSet(core.Invalid, core.Exclusive, core.Dirty, core.Shared)
+		ops = opsInvalidate
+	case "berkeley":
+		legal = legalSet(core.Invalid, core.Dirty, core.Shared, core.SharedDirty)
+		ops = opsInvalidate
+	default:
+		return Profile{}, false
+	}
+	p := Profile{
+		Proto:              proto,
+		Legal:              legal,
+		Ops:                ops,
+		CleanMatchesMemory: true,
+	}
+	var legals []core.State
+	for s := core.State(0); s < core.NumStates; s++ {
+		if legal[s] {
+			legals = append(legals, s)
+		}
+	}
+	p.Arcs = deriveArcs(proto, legals, ops)
+	return p, true
+}
+
+// ProtocolByName resolves a protocol name for checked runs: the real suite
+// (internal/coherence) plus the deliberately broken protocols the checker
+// uses to validate itself.
+func ProtocolByName(name string) (core.Protocol, bool) {
+	switch name {
+	case nameBadStaleSharer:
+		return BadStaleSharer{}, true
+	case nameBadDoubleWriter:
+		return BadDoubleWriter{}, true
+	}
+	return coherence.ByName(name)
+}

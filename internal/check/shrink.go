@@ -1,0 +1,47 @@
+package check
+
+// Shrink reduces a failing schedule to a (locally) minimal one that still
+// fails with the same signature, using delta-debugging style chunk removal
+// down to a single-op sweep. It performs at most maxRuns re-executions and
+// returns the smallest schedule found within that budget.
+func Shrink(cfg StressConfig, sched Schedule, signature string, maxRuns int) Schedule {
+	if signature == "" || len(sched) == 0 {
+		return sched
+	}
+	runs := 0
+	fails := func(s Schedule) bool {
+		if runs >= maxRuns {
+			return false
+		}
+		runs++
+		res, err := RunSchedule(cfg, s)
+		return err == nil && res.Signature() == signature
+	}
+
+	cur := append(Schedule(nil), sched...)
+	chunk := len(cur) / 2
+	if chunk < 1 {
+		chunk = 1
+	}
+	for runs < maxRuns {
+		removed := false
+		for start := 0; start+chunk <= len(cur) && runs < maxRuns; {
+			cand := append(append(Schedule(nil), cur[:start]...), cur[start+chunk:]...)
+			if fails(cand) {
+				cur = cand
+				removed = true
+				// The same start index now addresses the next chunk.
+			} else {
+				start += chunk
+			}
+		}
+		if chunk == 1 {
+			if !removed {
+				break
+			}
+			continue // sweep again at op granularity until fixed point
+		}
+		chunk /= 2
+	}
+	return cur
+}

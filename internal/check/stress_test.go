@@ -1,0 +1,115 @@
+package check
+
+import (
+	"testing"
+
+	"firefly/internal/coherence"
+)
+
+// TestStressAllProtocols is the headline acceptance run: a seeded random
+// schedule of over a million references per protocol, every load checked
+// against the reference memory and the invariant walker sweeping the
+// caches throughout — zero violations expected for the whole suite.
+func TestStressAllProtocols(t *testing.T) {
+	ops := 1 << 20 // ~1.05M scheduled references, each producing >=1 checked op
+	if testing.Short() {
+		ops = 1 << 14
+	}
+	for _, proto := range coherence.All() {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			t.Parallel()
+			cfg := StressConfig{
+				Protocol:   proto.Name(),
+				CPUs:       4,
+				CacheLines: 16,
+				LineWords:  1,
+				PoolLines:  8,
+				Ops:        ops,
+				Seed:       7919,
+				WalkEvery:  64,
+			}
+			res, _, err := RunStress(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("violation: %v", v)
+			}
+			if res.Checked < uint64(ops) {
+				t.Errorf("checked %d ops, want >= %d", res.Checked, ops)
+			}
+			if res.Walks == 0 {
+				t.Error("invariant walker never ran")
+			}
+			t.Logf("%s: %d checked ops, %d walks, %d cycles",
+				proto.Name(), res.Checked, res.Walks, res.Cycles)
+		})
+	}
+}
+
+// TestStressGeometries varies CPU count and line size across the suite:
+// multi-word lines exercise the fill-conflict and victim-flush machinery,
+// a single CPU exercises the degenerate no-sharing case, and seven CPUs
+// match the hardware's maximum.
+func TestStressGeometries(t *testing.T) {
+	cases := []struct {
+		cpus, lineWords, cacheLines int
+	}{
+		{1, 1, 16},
+		{2, 4, 8},
+		{7, 2, 16},
+		{3, 4, 4},
+	}
+	for _, proto := range coherence.All() {
+		for _, g := range cases {
+			proto, g := proto, g
+			t.Run(proto.Name(), func(t *testing.T) {
+				t.Parallel()
+				cfg := StressConfig{
+					Protocol:   proto.Name(),
+					CPUs:       g.cpus,
+					CacheLines: g.cacheLines,
+					LineWords:  g.lineWords,
+					PoolLines:  6,
+					Ops:        20000,
+					Seed:       uint64(31*g.cpus + g.lineWords),
+					WalkEvery:  16,
+				}
+				res, _, err := RunStress(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("cpus=%d lw=%d lines=%d: %v", g.cpus, g.lineWords, g.cacheLines, v)
+				}
+			})
+		}
+	}
+}
+
+// TestStressDeterministic: the same seed must reproduce the identical run
+// — cycle for cycle and checked-op for checked-op — or a failing schedule
+// could not be shrunk and replayed.
+func TestStressDeterministic(t *testing.T) {
+	cfg := StressConfig{Protocol: "firefly", Ops: 30000, Seed: 1234, LineWords: 2}
+	a, scheda, err := RunStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, schedb, err := RunStress(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Checked != b.Checked || a.Walks != b.Walks {
+		t.Errorf("runs diverged: %+v vs %+v", a, b)
+	}
+	if len(scheda) != len(schedb) {
+		t.Fatalf("schedules diverged: %d vs %d ops", len(scheda), len(schedb))
+	}
+	for i := range scheda {
+		if scheda[i] != schedb[i] {
+			t.Fatalf("schedule op %d diverged: %+v vs %+v", i, scheda[i], schedb[i])
+		}
+	}
+}

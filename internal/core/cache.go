@@ -131,7 +131,12 @@ type Cache struct {
 	xferWord   int
 	fillBuf    []uint32
 	fillShared bool
-	victimBase mbus.Addr
+	// fillPoisoned marks an in-flight fill whose line was claimed for
+	// exclusive ownership by a snooped operation (MReadOwn/MInv): the
+	// buffered words are dead and the miss restarts when the last word
+	// arrives. See snoopFillConflict.
+	fillPoisoned bool
+	victimBase   mbus.Addr
 
 	// pending bus request
 	reqValid bool
@@ -446,10 +451,11 @@ func (c *Cache) begin() bool {
 	if hit {
 		if !acc.Write {
 			c.stats.ReadHits++
+			c.lastRead = *c.word(idx, acc.Addr)
 			if c.tracer != nil {
 				c.emit(obs.KindCacheReadHit, acc.Addr, 0, 0)
+				c.emit(obs.KindCacheLoad, acc.Addr, uint64(c.lastRead), 1)
 			}
-			c.lastRead = *c.word(idx, acc.Addr)
 			c.phase = seqIdle
 			return true
 		}
@@ -462,6 +468,9 @@ func (c *Cache) begin() bool {
 			c.stats.LocalWriteHits++
 			*c.word(idx, acc.Addr) = acc.Data
 			c.setState(idx, c.afterWriteHit(c.states[idx], false, false))
+			if c.tracer != nil {
+				c.emit(obs.KindCacheStore, acc.Addr, uint64(acc.Data), 1)
+			}
 			c.phase = seqIdle
 			return true
 		}
@@ -512,6 +521,7 @@ func (c *Cache) startMissOps() {
 	c.phase = seqFill
 	c.xferWord = 0
 	c.fillShared = false
+	c.fillPoisoned = false
 	c.raiseFillWord()
 }
 
@@ -530,7 +540,13 @@ func (c *Cache) raiseFillWord() {
 func (c *Cache) raiseVictimWord() {
 	idx := c.accIdx
 	addr := c.victimBase + mbus.Addr(c.xferWord*4)
-	c.raise(mbus.MWrite, addr, c.data[idx*c.lineWords+c.xferWord])
+	c.reqValid = true
+	c.req = mbus.Request{
+		Op:     mbus.MWrite,
+		Addr:   addr.Line(),
+		Data:   c.data[idx*c.lineWords+c.xferWord],
+		Victim: true,
+	}
 }
 
 // Step processes deferred work; the machine calls it once per cycle before
@@ -579,6 +595,14 @@ func (c *Cache) BusComplete(res mbus.Result) {
 			c.raiseFillWord()
 			return
 		}
+		if c.fillPoisoned {
+			// A snooped operation claimed this line for exclusive ownership
+			// mid-fill; the buffered words are dead. Discard them and retry
+			// the miss from the start (the bus operations already spent stay
+			// counted in FillOps).
+			c.startMissOps()
+			return
+		}
 		c.stats.Fills++
 		idx := c.accIdx
 		c.tags[idx] = c.lineBase(c.acc.Addr)
@@ -586,6 +610,9 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		c.setState(idx, c.proto.AfterFill(c.acc.Write, c.fillShared))
 		if !c.acc.Write {
 			c.lastRead = *c.word(idx, c.acc.Addr)
+			if c.tracer != nil {
+				c.emit(obs.KindCacheLoad, c.acc.Addr, uint64(c.lastRead), 0)
+			}
 			c.finish()
 			return
 		}
@@ -594,6 +621,9 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		if !needBus {
 			*c.word(idx, c.acc.Addr) = c.acc.Data
 			c.setState(idx, c.afterWriteHit(c.states[idx], false, false))
+			if c.tracer != nil {
+				c.emit(obs.KindCacheStore, c.acc.Addr, uint64(c.acc.Data), 1)
+			}
 			c.finish()
 			return
 		}
@@ -617,8 +647,34 @@ func (c *Cache) BusComplete(res mbus.Result) {
 		case mbus.MInv:
 			c.stats.Invalidations++
 		}
+		if !c.states[idx].Valid() {
+			// The line died while this operation was pending: another
+			// processor's write serialized ahead and the snoop invalidated
+			// it. Completing "as a hit" would resurrect the dead line —
+			// the written word fresh, every other word stale (the
+			// coherence checker's randomized stress caught exactly that
+			// under the invalidation protocols with multi-word lines).
+			if res.Op.CarriesData() {
+				// The write-through itself still happened: memory and any
+				// surviving snoopers absorbed the data at serialization.
+				// The local copy just stays dead.
+				c.finish()
+				return
+			}
+			// An invalidation-based write hit lost its line before its
+			// MInv won the bus. The store has not serialized anywhere;
+			// redo the access as the write miss it now is.
+			c.startMissOps()
+			return
+		}
 		*c.word(idx, c.acc.Addr) = c.acc.Data
 		c.setState(idx, c.afterWriteHit(c.states[idx], true, res.Shared))
+		if c.tracer != nil && !res.Op.CarriesData() {
+			// An MInv-based write hit: the store serialized with the
+			// invalidation broadcast but never put data on the bus, so
+			// no KindBusStore was emitted for it.
+			c.emit(obs.KindCacheStore, c.acc.Addr, uint64(c.acc.Data), 0)
+		}
 		c.finish()
 
 	case seqDirectWrite:
@@ -657,6 +713,10 @@ func (c *Cache) SnoopProbe(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.Sno
 	c.lastProbed = c.clock.Now()
 	idx, hit := c.lookup(addr)
 	if !hit {
+		if c.lineWords > 1 && c.phase == seqFill &&
+			c.lineBase(addr) == c.lineBase(c.acc.Addr) {
+			return c.snoopFillConflict(op, addr, data)
+		}
 		return mbus.SnoopVerdict{}
 	}
 	c.stats.SnoopHits++
@@ -689,6 +749,46 @@ func (c *Cache) SnoopProbe(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.Sno
 	return v
 }
 
+// snoopFillConflict handles a bus operation addressed to the line this
+// cache is in the middle of filling. The fill sequencer installs tags only
+// when the last word arrives, so the committed-line snoop path cannot see
+// the conflict; without this handling a multi-word fill is invisible to
+// coherence, and a write serialized between two of its word reads would
+// leave an already-buffered word stale — two Shared copies with divergent
+// data (the coherence checker's randomized stress found exactly that).
+// With one-word lines a fill is a single atomic operation and the window
+// does not exist, so the caller gates on lineWords > 1.
+//
+// The protocol's committed-line reaction to a clean Shared copy
+// classifies the response:
+//
+//   - it would invalidate (an exclusive-ownership claim): the buffered
+//     words are dead; poison the fill so the miss restarts when the last
+//     word arrives.
+//   - it takes data (an update-family write): patch the new word into the
+//     fill buffer if that word was already fetched; words not yet fetched
+//     will read the post-write value after this operation serializes.
+//   - otherwise (a read): assert MShared only — both fills then complete
+//     Shared on both sides.
+func (c *Cache) snoopFillConflict(op mbus.OpKind, addr mbus.Addr, data uint32) mbus.SnoopVerdict {
+	action := c.snoopAction(Shared, op)
+	if !action.Next.Valid() {
+		c.fillPoisoned = true
+		c.stats.SnoopInvals++
+		return mbus.SnoopVerdict{}
+	}
+	if action.TakeData && op.CarriesData() {
+		if w := c.wordOff(addr); w < c.xferWord {
+			c.fillBuf[w] = data
+			c.stats.SnoopTakes++
+		}
+	}
+	c.fillShared = true
+	// HasLine without snoopLive: the MShared wire is driven, but there is
+	// no committed line for SnoopCommit to transition (it no-ops).
+	return mbus.SnoopVerdict{HasLine: true}
+}
+
 // SnoopCommit implements mbus.Snooper.
 func (c *Cache) SnoopCommit(op mbus.OpKind, addr mbus.Addr, data uint32, shared bool) {
 	if !c.snoopLive {
@@ -707,6 +807,21 @@ func (c *Cache) SnoopCommit(op mbus.OpKind, addr mbus.Addr, data uint32, shared 
 		c.stats.SnoopInvals++
 	}
 	c.setState(idx, action.Next)
+	if c.phase == seqVictim && idx == c.accIdx && !c.states[idx].IsDirty() {
+		// The snooped operation stripped the dirt from (or invalidated) the
+		// line this cache is writing back. The snoop flush has already
+		// delivered every word to memory, and finishing the write-back would
+		// put stale words on the bus AFTER the operation that serialized
+		// ahead of it — under an ownership protocol that stale MWrite would
+		// clobber the new owner's copy. Abandon the remaining victim
+		// operations and start the miss proper. (Our own victim operation
+		// cannot be in flight here: a snoop only arrives during another
+		// agent's operation, so the pending request is merely waiting for
+		// grant and is safe to cancel.)
+		c.reqValid = false
+		c.setState(idx, Invalid)
+		c.startMissOps()
+	}
 }
 
 // boolArg converts a flag to an event argument.

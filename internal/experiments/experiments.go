@@ -83,6 +83,7 @@ func All() []Runner {
 		{"syscall", SyscallEmulation, "Ultrix system-call emulation cost"},
 		{"linesize", LineSizeAblation, "cache line size ablation (analytic + simulated)"},
 		{"onchipdata", OnChipDataAblation, "CVAX on-chip data-cache ablation"},
+		{"coherencecheck", CoherenceCheck, "randomized coherence stress under the checking oracle"},
 	}
 }
 

@@ -283,6 +283,11 @@ func (m *Machine) CPU(i int) *cpu.Processor { return m.cpus[i] }
 // Cache returns processor i's cache.
 func (m *Machine) Cache(i int) *core.Cache { return m.caches[i] }
 
+// Caches returns every processor's cache, indexed by processor. The
+// returned slice is the machine's own; callers must not mutate it. The
+// coherence checker walks it to compare line copies across caches.
+func (m *Machine) Caches() []*core.Cache { return m.caches }
+
 // AddDevice registers a device for per-cycle stepping. The device is
 // responsible for attaching itself to the bus.
 func (m *Machine) AddDevice(d Stepper) { m.devices = append(m.devices, d) }

@@ -97,6 +97,12 @@ type Request struct {
 	Op   OpKind
 	Addr Addr
 	Data uint32 // valid when Op.CarriesData()
+	// Victim marks an MWrite that writes back an evicted dirty line rather
+	// than serializing a new CPU store. The distinction is observational
+	// only (it flows into the KindBusStore event): a victim's data must
+	// equal the current coherent value, which the coherence oracle
+	// cross-checks, while a write-through defines a new one.
+	Victim bool
 }
 
 // Result is delivered to the initiator on the final cycle of its operation.
@@ -241,6 +247,7 @@ type Bus struct {
 	op       OpKind
 	addr     Addr
 	data     uint32
+	victim   bool
 	portNum  int
 	verdicts []SnoopVerdict
 	shared   bool
@@ -306,6 +313,15 @@ func (b *Bus) Tracer() *obs.Tracer { return b.tracer }
 
 // Busy reports whether an operation is in flight.
 func (b *Bus) Busy() bool { return b.active }
+
+// InFlight returns the operation currently occupying the bus, if any.
+// The invariant walker (internal/check) uses it to exclude the addressed
+// line from cross-cache comparisons: between the commit cycle and the
+// completion cycle the initiator and the snoopers legitimately disagree
+// about that one line.
+func (b *Bus) InFlight() (op OpKind, addr Addr, active bool) {
+	return b.op, b.addr, b.active
+}
 
 // Quiescent reports whether the bus is provably doing nothing: no
 // operation in flight and no attached initiator requesting service.
@@ -413,6 +429,7 @@ func (b *Bus) begin(port int, req Request) {
 	b.op = req.Op
 	b.addr = req.Addr.Line()
 	b.data = req.Data
+	b.victim = req.Victim
 	b.portNum = port
 	b.shared = false
 	if cap(b.verdicts) < len(b.ports) {
@@ -485,6 +502,25 @@ func (b *Bus) resolveShared() {
 			continue
 		}
 		sn.SnoopCommit(b.op, b.addr, data, b.shared)
+	}
+	if b.tracer != nil && b.op.CarriesData() {
+		// Cycle 3 is the serialization point of a data-carrying operation:
+		// snooping caches have just committed the value, so from this cycle
+		// on every agent observes the new word. The coherence oracle keys
+		// its reference-memory update off this event.
+		var victim uint64
+		if b.victim {
+			victim = 1
+		}
+		b.tracer.Emit(obs.Event{
+			Cycle: uint64(b.clock.Now()),
+			Kind:  obs.KindBusStore,
+			Unit:  int32(b.portNum),
+			Addr:  uint32(b.addr),
+			A:     uint64(b.data),
+			B:     victim,
+			Label: b.op.String(),
+		})
 	}
 }
 

@@ -81,6 +81,24 @@ const (
 	// KindDMADone: a DMA transfer completed (or NXM-aborted on a mapping
 	// fault, B = 1).
 	KindDMADone
+	// KindCacheLoad: a CPU load produced a value. A is the loaded word,
+	// B is 1 when the value came straight from the cache (a hit) and 0
+	// when a bus fill supplied it. Emitted at the point the value becomes
+	// architecturally visible to the loading processor; the coherence
+	// oracle (internal/check) validates A against the reference memory.
+	KindCacheLoad
+	// KindCacheStore: a CPU store serialized without a data-carrying bus
+	// operation: a local write hit on a non-shared line (B = 1) or an
+	// MInv-based write hit whose store commits with the invalidation
+	// (B = 0). A is the stored word. Stores that ride a data-carrying bus
+	// operation are reported by the bus as KindBusStore instead.
+	KindCacheStore
+	// KindBusStore: a data-carrying bus operation (MWrite or MUpdate)
+	// reached its serialization point — cycle 3, when snooping caches
+	// commit the value. Unit is the initiating port, A the data word,
+	// B 1 when the write is a victim write-back (whose data must match,
+	// not change, the coherent value), Label the operation mnemonic.
+	KindBusStore
 
 	numKinds
 )
@@ -103,6 +121,9 @@ var kindNames = [numKinds]string{
 	KindDMAStart:            "dma.start",
 	KindDMAWord:             "dma.word",
 	KindDMADone:             "dma.done",
+	KindCacheLoad:           "cache.load",
+	KindCacheStore:          "cache.store",
+	KindBusStore:            "bus.store",
 }
 
 // String returns the kind's dotted name.

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"firefly/internal/mbus"
+	"firefly/internal/sim"
+)
+
+// Partitioned is a deterministic multi-writer source for cross-protocol
+// differential runs: each processor writes only addresses in its own
+// partition (single-writer-per-address) while reading the whole pool.
+// Because every write address has exactly one writer and that writer's
+// stores are in program order, the final logical value of every pool word
+// is the same no matter which coherence protocol — or timing — the
+// machine runs. Comparing final memory images across protocols is then a
+// pure correctness check.
+//
+// The processor model decides reference kinds from its architectural mix;
+// Partitioned picks the address after learning the kind, so the random
+// draw sequence (and hence the reference stream) is identical across
+// machines that share a seed.
+type Partitioned struct {
+	pool   []mbus.Addr // read targets: the whole pool
+	own    []mbus.Addr // write targets: this processor's partition
+	sink   mbus.Addr   // private address used once the budget is spent
+	rng    *sim.Rand
+	id     uint32
+	writes uint32
+	count  int
+	limit  int
+}
+
+// NewPartitioned builds the source for processor id. pool is the full
+// shared pool, own the processor's private write partition, sink a
+// private address for references past the limit.
+func NewPartitioned(pool, own []mbus.Addr, sink mbus.Addr, id int, seed uint64, limit int) *Partitioned {
+	if len(pool) == 0 || len(own) == 0 {
+		panic("trace: partitioned source needs addresses")
+	}
+	return &Partitioned{
+		pool:  pool,
+		own:   own,
+		sink:  sink,
+		rng:   sim.NewRand(seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15),
+		id:    uint32(id),
+		limit: limit,
+	}
+}
+
+// Next implements Source.
+func (p *Partitioned) Next(kind Kind) Ref {
+	if p.count >= p.limit {
+		return Ref{Addr: p.sink}
+	}
+	p.count++
+	if kind.IsWrite() {
+		p.writes++
+		return Ref{
+			Addr: p.own[p.rng.Intn(len(p.own))],
+			Data: p.id<<24 | p.writes,
+		}
+	}
+	return Ref{Addr: p.pool[p.rng.Intn(len(p.pool))]}
+}
+
+// Done reports whether the reference budget is spent.
+func (p *Partitioned) Done() bool { return p.count >= p.limit }
+
+var _ Source = (*Partitioned)(nil)
