@@ -10,6 +10,7 @@
 //	fireflysim -cpus 2 -seconds 0.001 -trace out.json -trace-format chrome
 //	fireflysim -experiment table1sim -workers 4
 //	fireflysim -cpus 5 -check -seconds 0.005
+//	fireflysim -cpus 4 -faults "all=1e-4" -check -seconds 0.005
 //	fireflysim -replay repro.replay
 package main
 
@@ -22,6 +23,7 @@ import (
 	"firefly"
 	"firefly/internal/check"
 	"firefly/internal/experiments"
+	"firefly/internal/fault"
 	"firefly/internal/machine"
 	"firefly/internal/obs"
 	"firefly/internal/topaz"
@@ -46,6 +48,7 @@ func main() {
 	experiment := flag.String("experiment", "", "run a named sweep experiment instead of a single machine (see cmd/tables -list)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for -experiment (0 = one per CPU; output is identical for any value)")
 	checkFlag := flag.Bool("check", false, "run the coherence checker alongside the workload (oracle + invariant walks)")
+	faults := flag.String("faults", "", `fault-injection spec, e.g. "bus=1e-4,mem=1e-4" or "all=1e-4" (keys: bus, timeout, mem, memunc, nxm, stall, tag, all, retries, backoff, stallcycles, hold, start, end, seed, addrmin, addrmax)`)
 	replay := flag.String("replay", "", "re-execute a coherence-checker replay file and report the outcome")
 	flag.Parse()
 
@@ -98,6 +101,14 @@ func main() {
 	cfg.LineWords = *lineWords
 	if *cacheLines > 0 {
 		cfg.CacheLines = *cacheLines
+	}
+	if *faults != "" {
+		fcfg, err := fault.ParseSpec(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fcfg
 	}
 	m := machine.New(cfg)
 
@@ -184,6 +195,23 @@ func main() {
 	}
 
 	fmt.Print(m.Report())
+
+	if plan := m.Faults(); plan != nil {
+		fs := plan.Stats()
+		var mchecks, offline uint64
+		for i := 0; i < cfg.Processors; i++ {
+			mchecks += m.Cache(i).Stats().MachineChecks
+		}
+		for _, p := range m.Processors() {
+			if p.Halted() {
+				offline++
+			}
+		}
+		fmt.Printf("faults: %d injected (bus parity %d, bus timeout %d, mem soft %d, mem uncorrectable %d, dma nxm %d, dma stall %d, tag parity %d); %d machine checks\n",
+			fs.Total(), fs.BusParity.Value(), fs.BusTimeouts.Value(),
+			fs.MemSoft.Value(), fs.MemUncorrect.Value(),
+			fs.DMANXM.Value(), fs.DMAStalls.Value(), fs.TagParity.Value(), mchecks)
+	}
 
 	if checker != nil {
 		checker.Walk()

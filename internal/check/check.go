@@ -58,6 +58,12 @@ type Checker struct {
 	// Absent addresses are unknown and adopted on first sight.
 	vals map[mbus.Addr]uint32
 
+	// tagPardon records caches that just reported a correctable tag-parity
+	// fault (keyed by unit and line address). Fault recovery invalidates
+	// the suspect line directly — a transition outside the protocol's arc
+	// table — so the next matching state event to Invalid is pardoned.
+	tagPardon map[pardonKey]bool
+
 	checked    uint64
 	opCount    uint64
 	walkEvery  uint64
@@ -81,8 +87,15 @@ func New(caches []*core.Cache, mem *memory.System, bus *mbus.Bus, prof Profile) 
 		prof:      prof,
 		lineWords: lw,
 		vals:      make(map[mbus.Addr]uint32),
+		tagPardon: make(map[pardonKey]bool),
 		walkEvery: defaultWalkEvery,
 	}
+}
+
+// pardonKey identifies one cache line for tag-fault pardons.
+type pardonKey struct {
+	unit int32
+	addr uint32
 }
 
 // Attach builds a checker for a machine and registers it with the
@@ -198,8 +211,23 @@ func (c *Checker) Observe(e obs.Event) {
 		}
 		c.vals[addr] = uint32(e.A)
 
+	case obs.KindFaultCacheTag:
+		if e.B == 0 {
+			// Correctable tag-parity fault: the cache is about to
+			// invalidate the suspect line outside the protocol's arcs.
+			c.tagPardon[pardonKey{e.Unit, e.Addr}] = true
+		}
+
 	case obs.KindCacheState:
 		from, to := core.State(e.A), core.State(e.B)
+		if to == core.Invalid {
+			key := pardonKey{e.Unit, e.Addr}
+			if c.tagPardon[key] {
+				// Tag-fault recovery; any from-state may drop to Invalid.
+				delete(c.tagPardon, key)
+				return
+			}
+		}
 		if !c.prof.Legal[to] {
 			c.fail(Violation{
 				Kind: "illegal-state", Cycle: e.Cycle, Unit: int(e.Unit),

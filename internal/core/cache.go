@@ -71,6 +71,13 @@ type Stats struct {
 	SnoopInvals   uint64 // lines invalidated by snooped ops
 
 	StallCycles uint64 // cycles a CPU access waited on this cache
+
+	// Fault recovery accounting (all zero on a fault-free machine).
+	BusFaults     uint64 // faulted bus operations delivered to this cache
+	Retries       uint64 // faulted operations retried after backoff
+	TagFaults     uint64 // injected tag-store parity errors
+	MachineChecks uint64 // uncorrectable faults latched
+	Abandoned     uint64 // CPU accesses abandoned after retry exhaustion
 }
 
 // BusOps returns the number of MBus operations this cache initiated.
@@ -102,6 +109,25 @@ const (
 	seqWriteThrough
 	seqDirectWrite
 )
+
+// TagFaultInjector decides whether a CPU access that hit the cache
+// suffers a tag-store parity error. Declared here (not in the fault
+// package) so the cache depends only on its own narrow injection point;
+// fault.Plan satisfies it structurally.
+type TagFaultInjector interface {
+	TagFault(addr mbus.Addr) bool
+}
+
+// FaultPolicy configures fault injection and recovery on a cache.
+type FaultPolicy struct {
+	// Tag injects tag-store parity errors (nil: none).
+	Tag TagFaultInjector
+	// MaxRetries bounds retries of a faulted bus operation before the
+	// access is abandoned with a machine check.
+	MaxRetries int
+	// BackoffCycles is the base retry backoff, doubling per attempt.
+	BackoffCycles uint64
+}
 
 // Cache is a direct-mapped snoopy cache attached to one MBus port. It is
 // an mbus.Initiator and mbus.Snooper. One CPU access may be outstanding at
@@ -141,6 +167,12 @@ type Cache struct {
 	// pending bus request
 	reqValid bool
 	req      mbus.Request
+
+	// fault recovery
+	faults       FaultPolicy
+	retries      int       // consecutive faulted attempts of the current op
+	retryAt      sim.Cycle // earliest re-arbitration cycle after backoff
+	machineCheck bool      // latched uncorrectable fault, read by Topaz
 
 	// snoop in progress (between probe and commit)
 	snoopIdx   int
@@ -248,6 +280,18 @@ func (c *Cache) emit(kind obs.Kind, addr mbus.Addr, a, b uint64) {
 		B:     b,
 	})
 }
+
+// SetFaultPolicy installs fault injection and recovery parameters. The
+// zero policy (the default) restores the fault-free cache.
+func (c *Cache) SetFaultPolicy(p FaultPolicy) { c.faults = p }
+
+// MachineCheck reports whether an uncorrectable fault has been latched:
+// a bus operation that exhausted its retry budget, or a tag parity error
+// on a dirty line. Topaz polls it to offline the processor.
+func (c *Cache) MachineCheck() bool { return c.machineCheck }
+
+// ClearMachineCheck acknowledges the latched machine check.
+func (c *Cache) ClearMachineCheck() { c.machineCheck = false }
 
 // Protocol returns the coherence protocol the cache runs.
 func (c *Cache) Protocol() Protocol { return c.proto }
@@ -448,6 +492,9 @@ func (c *Cache) begin() bool {
 	acc := c.acc
 	idx, hit := c.lookup(acc.Addr)
 	c.accIdx = idx
+	if hit && c.faults.Tag != nil && c.faults.Tag.TagFault(acc.Addr) {
+		hit = c.tagParityFault(idx)
+	}
 	if hit {
 		if !acc.Write {
 			c.stats.ReadHits++
@@ -557,10 +604,85 @@ func (c *Cache) Step() {
 	}
 }
 
+// tagParityFault handles an injected tag-store parity error on a hit.
+// On a clean line the tag cannot be trusted but the data is recoverable
+// from the rest of the system: the controller invalidates the line and
+// the access proceeds as a miss, refetching over the bus (if the clean
+// copy had diverged from memory, a dirty owner exists elsewhere and
+// supplies the fill — true in every protocol of the suite). On a dirty
+// line the cache holds the sole copy of the data, so the error is
+// uncorrectable: a machine check latches for Topaz, and the access
+// completes on the (in simulation, intact) line — the fault models a
+// detected-parity event, not actual corruption, so coherence is
+// preserved while software decides the processor's fate.
+// The return value is the access's effective hit status.
+func (c *Cache) tagParityFault(idx int) (hit bool) {
+	c.stats.TagFaults++
+	if c.states[idx].IsDirty() {
+		c.stats.MachineChecks++
+		c.machineCheck = true
+		if c.tracer != nil {
+			c.emit(obs.KindFaultCacheTag, c.tags[idx], 0, 1)
+			c.emit(obs.KindMachineCheck, c.tags[idx], 2, 0)
+		}
+		return true
+	}
+	// The fault event precedes the state event so trace consumers (the
+	// coherence checker's arc validator) can attribute the off-protocol
+	// transition to Invalid to fault recovery.
+	if c.tracer != nil {
+		c.emit(obs.KindFaultCacheTag, c.tags[idx], 0, 0)
+	}
+	c.setState(idx, Invalid)
+	return false
+}
+
+// busFault handles a faulted bus operation: bounded retry with
+// exponential backoff, then machine check and abandonment.
+func (c *Cache) busFault(res mbus.Result) {
+	c.stats.BusFaults++
+	if c.retries < c.faults.MaxRetries {
+		c.retries++
+		c.stats.Retries++
+		backoff := c.faults.BackoffCycles << (c.retries - 1)
+		c.retryAt = c.clock.Now() + sim.Cycle(backoff)
+		// The request is still latched in c.req; re-raise it.
+		c.reqValid = true
+		if c.tracer != nil {
+			c.emit(obs.KindFaultRetry, c.req.Addr, uint64(c.retries), backoff)
+		}
+		return
+	}
+	// Retry budget exhausted: latch a machine check and abandon the CPU
+	// access. Nothing was serialized — a faulted operation has no
+	// architectural effect — so no load or store event is emitted and no
+	// cache state was installed; the machine stays coherent and the
+	// processor's fate is software's call (Topaz offlines it).
+	c.retries = 0
+	c.retryAt = 0
+	c.machineCheck = true
+	c.stats.MachineChecks++
+	c.stats.Abandoned++
+	if c.tracer != nil {
+		c.emit(obs.KindMachineCheck, c.req.Addr, 1, uint64(res.Fault))
+	}
+	c.reqValid = false
+	c.finish()
+}
+
 // BusRequest implements mbus.Initiator.
 func (c *Cache) BusRequest() (mbus.Request, bool) {
 	if !c.reqValid {
 		return mbus.Request{}, false
+	}
+	if c.retryAt != 0 {
+		// Backing off after a faulted operation. The request stays raised
+		// (so the machine's idle skip-ahead sees pending work) but does
+		// not arbitrate until the backoff expires.
+		if c.clock.Now() < c.retryAt {
+			return mbus.Request{}, false
+		}
+		c.retryAt = 0
 	}
 	return c.req, true
 }
@@ -570,6 +692,11 @@ func (c *Cache) BusGrant() { c.reqValid = false }
 
 // BusComplete implements mbus.Initiator.
 func (c *Cache) BusComplete(res mbus.Result) {
+	if res.Fault != mbus.FaultNone {
+		c.busFault(res)
+		return
+	}
+	c.retries = 0
 	switch c.phase {
 	case seqVictim:
 		c.stats.VictimOps++

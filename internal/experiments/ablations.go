@@ -235,14 +235,14 @@ func QBusLoad(budget Budget) Outcome {
 		maps.MapRange(0, 0x300000, 1<<20)
 		if flood {
 			words := 256
-			var refill func()
-			refill = func() {
+			var refill func(bool)
+			refill = func(bool) {
 				engine.Submit(&qbus.Transfer{
 					Device: "flood", ToMemory: true, QAddr: 0, Words: words,
 					Data: make([]uint32, words), OnDone: refill,
 				})
 			}
-			refill()
+			refill(false)
 		}
 		m.Warmup(cycles / 5)
 		m.Run(cycles)

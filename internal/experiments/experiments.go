@@ -84,6 +84,7 @@ func All() []Runner {
 		{"linesize", LineSizeAblation, "cache line size ablation (analytic + simulated)"},
 		{"onchipdata", OnChipDataAblation, "CVAX on-chip data-cache ablation"},
 		{"coherencecheck", CoherenceCheck, "randomized coherence stress under the checking oracle"},
+		{"faultsweep", FaultSweep, "fault-injection sweep with recovery, oracle attached"},
 	}
 }
 

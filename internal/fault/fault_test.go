@@ -1,0 +1,155 @@
+package fault
+
+import (
+	"testing"
+
+	"firefly/internal/mbus"
+	"firefly/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("bus=1e-4,mem=0.001,retries=7,backoff=32,seed=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BusParityRate != 1e-4 || cfg.MemSoftErrorRate != 0.001 {
+		t.Fatalf("rates = %+v", cfg)
+	}
+	if cfg.MaxRetries != 7 || cfg.BackoffCycles != 32 || cfg.Seed != 99 {
+		t.Fatalf("policy = %+v", cfg)
+	}
+
+	cfg, err = ParseSpec("all=0.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{cfg.BusParityRate, cfg.BusTimeoutRate,
+		cfg.MemSoftErrorRate, cfg.DMANXMRate, cfg.DMAStallRate, cfg.TagParityRate} {
+		if r != 0.01 {
+			t.Fatalf("all= did not fan out: %+v", cfg)
+		}
+	}
+
+	for _, bad := range []string{"bus", "bus=x", "bogus=1", "bus=2", "mem=-0.1"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if _, err := ParseSpec(""); err != nil {
+		t.Errorf("empty spec rejected: %v", err)
+	}
+}
+
+func TestZeroRatePlanDrawsNothing(t *testing.T) {
+	clock := &sim.Clock{}
+	p := NewPlan(Config{}, clock)
+	for i := 0; i < 1000; i++ {
+		clock.Tick()
+		if f, _ := p.OpFault(mbus.MRead, mbus.Addr(i*4)); f != mbus.FaultNone {
+			t.Fatal("zero-rate plan faulted a bus op")
+		}
+		if f, _ := p.ReadFault(mbus.Addr(i * 4)); f {
+			t.Fatal("zero-rate plan faulted a memory read")
+		}
+		if nxm, stall := p.DMAWordFault(mbus.Addr(i * 4)); nxm || stall != 0 {
+			t.Fatal("zero-rate plan faulted a DMA word")
+		}
+		if p.TagFault(mbus.Addr(i * 4)) {
+			t.Fatal("zero-rate plan faulted a tag lookup")
+		}
+	}
+	if p.Stats().Total() != 0 {
+		t.Fatalf("zero-rate plan counted injections: %d", p.Stats().Total())
+	}
+}
+
+func TestPlanDeterminism(t *testing.T) {
+	draw := func() []mbus.FaultKind {
+		clock := &sim.Clock{}
+		p := NewPlan(Config{BusParityRate: 0.3, BusTimeoutRate: 0.2, Seed: 5}, clock)
+		var out []mbus.FaultKind
+		for i := 0; i < 200; i++ {
+			clock.Tick()
+			f, _ := p.OpFault(mbus.MWrite, mbus.Addr(i*4))
+			out = append(out, f)
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+	faulted := 0
+	for _, f := range a {
+		if f != mbus.FaultNone {
+			faulted++
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("high-rate plan injected nothing")
+	}
+}
+
+func TestPlanStreamsIndependent(t *testing.T) {
+	// Enabling one fault class must not perturb another class's draws:
+	// each subsystem owns a split stream.
+	tagDraws := func(cfg Config) []bool {
+		clock := &sim.Clock{}
+		p := NewPlan(cfg, clock)
+		var out []bool
+		for i := 0; i < 300; i++ {
+			clock.Tick()
+			p.OpFault(mbus.MRead, mbus.Addr(i*4)) // bus stream consumption varies
+			out = append(out, p.TagFault(mbus.Addr(i*4)))
+		}
+		return out
+	}
+	a := tagDraws(Config{TagParityRate: 0.2, Seed: 3})
+	b := tagDraws(Config{TagParityRate: 0.2, BusParityRate: 0.5, Seed: 3})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tag draw %d perturbed by bus rate", i)
+		}
+	}
+}
+
+func TestPlanWindowing(t *testing.T) {
+	clock := &sim.Clock{}
+	p := NewPlan(Config{
+		BusParityRate: 1, StartCycle: 10, EndCycle: 20,
+		AddrMin: 0x100, AddrMax: 0x1ff,
+	}, clock)
+	fault := func(addr mbus.Addr) bool {
+		f, _ := p.OpFault(mbus.MRead, addr)
+		return f != mbus.FaultNone
+	}
+	// Before the window: never.
+	for i := 0; i < 9; i++ {
+		clock.Tick()
+		if fault(0x100) {
+			t.Fatal("injected before StartCycle")
+		}
+	}
+	clock.Tick() // cycle 10
+	if !fault(0x100) {
+		t.Fatal("rate-1 plan missed inside the window")
+	}
+	if fault(0x80) || fault(0x200) {
+		t.Fatal("injected outside the address range")
+	}
+	clock.Advance(11) // cycle 21
+	if fault(0x100) {
+		t.Fatal("injected after EndCycle")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid rate did not panic NewPlan")
+		}
+	}()
+	NewPlan(Config{BusParityRate: 2}, &sim.Clock{})
+}

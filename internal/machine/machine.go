@@ -12,6 +12,7 @@ import (
 
 	"firefly/internal/core"
 	"firefly/internal/cpu"
+	"firefly/internal/fault"
 	"firefly/internal/mbus"
 	"firefly/internal/memory"
 	"firefly/internal/obs"
@@ -51,6 +52,12 @@ type Config struct {
 	// every emission site on a single pointer test. Tracing can also be
 	// enabled after construction with Machine.Trace.
 	Tracer *obs.Tracer
+	// Faults, when non-nil, installs a deterministic fault-injection plan
+	// across the MBus, storage ECC, and cache tag stores. A zero-valued
+	// plan seed defaults to the machine seed, so fault runs stay
+	// reproducible per Config.Seed. Nil (the default) builds the plan-free
+	// machine: no injector hooks, no extra work on the hot loop.
+	Faults *fault.Config
 }
 
 // MicroVAXConfig returns the original Firefly with n processors.
@@ -141,6 +148,7 @@ type Machine struct {
 	devices []Stepper
 	tracer  *obs.Tracer
 	reg     *stats.Registry
+	plan    *fault.Plan
 }
 
 // New builds a machine. Reference sources start nil; attach them with
@@ -164,6 +172,22 @@ func New(cfg Config) *Machine {
 		m.caches = append(m.caches, cache)
 		m.cpus = append(m.cpus, p)
 	}
+	if cfg.Faults != nil {
+		fcfg := *cfg.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed
+		}
+		m.plan = fault.NewPlan(fcfg, m.clock)
+		m.bus.SetFaultInjector(m.plan)
+		m.mem.SetECC(m.plan)
+		for _, c := range m.caches {
+			c.SetFaultPolicy(core.FaultPolicy{
+				Tag:           m.plan,
+				MaxRetries:    m.plan.MaxRetries(),
+				BackoffCycles: m.plan.BackoffCycles(),
+			})
+		}
+	}
 	if cfg.Tracer != nil {
 		m.installTracer(cfg.Tracer)
 	}
@@ -175,6 +199,7 @@ func New(cfg Config) *Machine {
 func (m *Machine) installTracer(tr *obs.Tracer) {
 	m.tracer = tr
 	m.bus.SetTracer(tr)
+	m.mem.SetTracer(tr, m.clock)
 	for i, c := range m.caches {
 		c.SetTracer(tr, i)
 	}
@@ -258,6 +283,18 @@ func (m *Machine) buildRegistry() {
 		r.Register(pre+"snoop_takes", func() uint64 { return c.Stats().SnoopTakes })
 		r.Register(pre+"snoop_invals", func() uint64 { return c.Stats().SnoopInvals })
 		r.Register(pre+"stall_cycles", func() uint64 { return c.Stats().StallCycles })
+		r.Register(pre+"bus_faults", func() uint64 { return c.Stats().BusFaults })
+		r.Register(pre+"retries", func() uint64 { return c.Stats().Retries })
+		r.Register(pre+"tag_faults", func() uint64 { return c.Stats().TagFaults })
+		r.Register(pre+"machine_checks", func() uint64 { return c.Stats().MachineChecks })
+		r.Register(pre+"abandoned", func() uint64 { return c.Stats().Abandoned })
+	}
+	r.Register("bus.faulted_ops", func() uint64 { return m.bus.Stats().FaultedOps })
+	r.Register("bus.dropped_interrupts", func() uint64 { return m.bus.Stats().DroppedInterrupts })
+	r.Register("mem.ecc_corrected", func() uint64 { return m.mem.ECCStats().Corrected })
+	r.Register("mem.ecc_uncorrectable", func() uint64 { return m.mem.ECCStats().Uncorrectable })
+	if m.plan != nil {
+		m.plan.RegisterStats(r)
 	}
 	m.reg = r
 }
@@ -270,6 +307,11 @@ func (m *Machine) Clock() *sim.Clock { return m.clock }
 
 // Bus returns the MBus, for attaching I/O engines.
 func (m *Machine) Bus() *mbus.Bus { return m.bus }
+
+// Faults returns the installed fault plan, or nil when the machine runs
+// fault-free. Callers wiring QBus DMA engines pass it (with its retry
+// policy) to Engine.SetFaultPolicy so injection covers the I/O path too.
+func (m *Machine) Faults() *fault.Plan { return m.plan }
 
 // Memory returns the storage system.
 func (m *Machine) Memory() *memory.System { return m.mem }

@@ -33,8 +33,8 @@ func TestDMACoherenceSoak(t *testing.T) {
 			maps.MapRange(0, 0x8000, 1<<16)
 
 			rng := sim.NewRand(77)
-			var pump func()
-			pump = func() {
+			var pump func(bool)
+			pump = func(bool) {
 				words := 16
 				data := make([]uint32, words)
 				toMem := rng.Bool(0.5)
@@ -49,7 +49,7 @@ func TestDMACoherenceSoak(t *testing.T) {
 					Words: words, Data: data, OnDone: pump,
 				})
 			}
-			pump()
+			pump(false)
 
 			m.Run(400_000)
 

@@ -97,7 +97,7 @@ func TestTraceCoversDMA(t *testing.T) {
 	eng.Submit(&qbus.Transfer{
 		Device: "rqdx3", ToMemory: true, QAddr: 0, Words: 8,
 		Data:   make([]uint32, 8),
-		OnDone: func() { done = true },
+		OnDone: func(bool) { done = true },
 	})
 	m.Run(200)
 	if !done {

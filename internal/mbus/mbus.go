@@ -105,6 +105,41 @@ type Request struct {
 	Victim bool
 }
 
+// FaultKind classifies a bus or storage fault delivered with a Result.
+type FaultKind uint8
+
+const (
+	// FaultNone: the operation completed normally.
+	FaultNone FaultKind = iota
+	// FaultParity: an address or data parity error was detected on the
+	// operation. The operation had no architectural effect.
+	FaultParity
+	// FaultTimeout: no slave responded and the bus watchdog expired. The
+	// operation had no architectural effect and held the bus for the
+	// watchdog window beyond its normal four cycles.
+	FaultTimeout
+	// FaultECC: the storage modules detected an uncorrectable error in
+	// the read data. The operation ran normally on the bus (snoops and
+	// all) but the delivered data is unusable; soft errors are transient,
+	// so a retry re-reads the word.
+	FaultECC
+)
+
+// String returns the fault name.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultParity:
+		return "parity"
+	case FaultTimeout:
+		return "timeout"
+	case FaultECC:
+		return "ecc"
+	}
+	return fmt.Sprintf("FaultKind(%d)", uint8(k))
+}
+
 // Result is delivered to the initiator on the final cycle of its operation.
 type Result struct {
 	Op            OpKind
@@ -112,7 +147,11 @@ type Result struct {
 	Data          uint32 // read data for IsRead ops
 	Shared        bool   // MShared was asserted during cycle 3
 	CacheSupplied bool   // a cache, not memory, supplied the read data
-	Done          sim.Cycle
+	// Fault, when not FaultNone, marks the operation as failed: Data is
+	// invalid and (for FaultParity/FaultTimeout) the operation had no
+	// architectural effect. The initiator decides whether to retry.
+	Fault FaultKind
+	Done  sim.Cycle
 }
 
 // Initiator is an agent that can request bus operations (a cache, or the
@@ -182,6 +221,29 @@ type Memory interface {
 	WriteWord(addr Addr, data uint32) (ok bool)
 }
 
+// ECCMemory is an optional Memory extension for storage with an
+// error-detection model. The bus type-asserts for it at AttachMemory and,
+// when present, routes operation reads through ReadWordECC so an
+// uncorrectable storage error reaches the initiator as FaultECC.
+type ECCMemory interface {
+	Memory
+	// ReadWordECC reads like ReadWord but additionally reports whether an
+	// uncorrectable error corrupted the data (correctable errors are fixed
+	// internally and never surface here).
+	ReadWordECC(addr Addr) (data uint32, ok bool, uncorrectable bool)
+}
+
+// FaultInjector decides, per bus operation, whether an injected fault
+// occurs. A nil injector (the default) is the fault-free machine; the
+// consultation is a single interface call per operation, and an injector
+// that always answers FaultNone is behaviourally identical to none.
+type FaultInjector interface {
+	// OpFault is consulted once when an operation wins arbitration. It
+	// returns the fault to inject (FaultNone for a clean operation) and,
+	// for FaultTimeout, the extra cycles the watchdog holds the bus.
+	OpFault(op OpKind, addr Addr) (FaultKind, uint64)
+}
+
 // InterruptSink receives MBus interprocessor interrupts.
 type InterruptSink interface {
 	Interrupt(from int)
@@ -213,6 +275,12 @@ type Stats struct {
 	SharedHits uint64             // ops during which MShared was asserted
 	WaitCycles uint64             // requester-cycles spent waiting for grant
 	PerPort    []uint64           // completed operations per initiating port
+	// FaultedOps counts operations aborted by an injected parity error or
+	// timeout; they occupy the bus but are not counted in Ops.
+	FaultedOps uint64
+	// DroppedInterrupts counts interprocessor interrupts discarded for an
+	// out-of-range, self, or detached (no sink) target.
+	DroppedInterrupts uint64
 }
 
 // TotalOps returns the number of completed operations.
@@ -236,10 +304,12 @@ func (s Stats) Load() float64 {
 // Bus is the MBus. It is stepped once per 100 ns cycle by the machine's
 // run loop; it is not safe for concurrent use (the hardware wasn't either).
 type Bus struct {
-	clock *sim.Clock
-	arb   Arbitration
-	ports []port
-	mem   Memory
+	clock  *sim.Clock
+	arb    Arbitration
+	ports  []port
+	mem    Memory
+	eccMem ECCMemory // non-nil when mem implements ECCMemory
+	inj    FaultInjector
 
 	// in-flight operation
 	active   bool
@@ -251,6 +321,10 @@ type Bus struct {
 	portNum  int
 	verdicts []SnoopVerdict
 	shared   bool
+	// fault of the in-flight operation (FaultNone normally); holdLeft is
+	// the remaining watchdog cycles of a timed-out operation.
+	fault    FaultKind
+	holdLeft uint64
 
 	rrNext int // round-robin scan start
 
@@ -267,8 +341,16 @@ func New(clock *sim.Clock, arb Arbitration) *Bus {
 // Clock returns the bus clock.
 func (b *Bus) Clock() *sim.Clock { return b.clock }
 
-// AttachMemory connects the storage module array.
-func (b *Bus) AttachMemory(m Memory) { b.mem = m }
+// AttachMemory connects the storage module array. Storage implementing
+// ECCMemory gets its error model consulted on every operation read.
+func (b *Bus) AttachMemory(m Memory) {
+	b.mem = m
+	b.eccMem, _ = m.(ECCMemory)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the per-operation
+// fault injector.
+func (b *Bus) SetFaultInjector(inj FaultInjector) { b.inj = inj }
 
 // Attach adds an agent to the bus and returns its port number. Lower port
 // numbers have higher fixed priority. Any of the three roles may be nil
@@ -354,13 +436,21 @@ func (b *Bus) SkipIdle(n uint64) { b.stats.Cycles += n }
 // Interrupt delivers an MBus interprocessor interrupt to the agent on the
 // target port. Delivery is immediate; the hardware used dedicated bus
 // facilities that did not contend with data transfers.
+// A bad target — out of range, the sender itself, or a port with no
+// interrupt sink — must not take the machine down mid-cycle: devices
+// compute targets from software-writable registers, so the bus drops the
+// interrupt and counts it instead of panicking.
 func (b *Bus) Interrupt(from, target int) {
-	if target < 0 || target >= len(b.ports) {
-		panic(fmt.Sprintf("mbus: interrupt to invalid port %d", target))
+	if target < 0 || target >= len(b.ports) || target == from {
+		b.stats.DroppedInterrupts++
+		return
 	}
-	if sink := b.ports[target].sink; sink != nil {
-		sink.Interrupt(from)
+	sink := b.ports[target].sink
+	if sink == nil {
+		b.stats.DroppedInterrupts++
+		return
 	}
+	sink.Interrupt(from)
 }
 
 // Step advances the bus by one cycle. The machine's run loop must call
@@ -376,6 +466,24 @@ func (b *Bus) Step() {
 		// Arbitration and address transmission share the first cycle.
 	}
 	b.stats.BusyCycles++
+	if b.fault != FaultNone {
+		// An injected parity error or timeout: the operation occupies the
+		// bus but makes no architectural progress — no snoop probes, no
+		// MShared resolution, no memory access. A timeout additionally
+		// holds the bus for the watchdog window before the initiator sees
+		// the error.
+		if b.phase < OpCycles {
+			b.phase++
+			return
+		}
+		if b.holdLeft > 0 {
+			b.holdLeft--
+			return
+		}
+		b.completeFaulted()
+		b.active = false
+		return
+	}
 	switch b.phase {
 	case 1:
 		// Address and operation are on the bus; nothing else happens.
@@ -432,6 +540,11 @@ func (b *Bus) begin(port int, req Request) {
 	b.victim = req.Victim
 	b.portNum = port
 	b.shared = false
+	b.fault = FaultNone
+	b.holdLeft = 0
+	if b.inj != nil {
+		b.fault, b.holdLeft = b.inj.OpFault(b.op, b.addr)
+	}
 	if cap(b.verdicts) < len(b.ports) {
 		b.verdicts = make([]SnoopVerdict, len(b.ports))
 	}
@@ -569,6 +682,18 @@ func (b *Bus) complete() {
 			if reflect && b.mem != nil {
 				b.mem.WriteWord(b.addr, word)
 			}
+		} else if b.eccMem != nil {
+			if w, ok, bad := b.eccMem.ReadWordECC(b.addr); ok {
+				if bad {
+					// An uncorrectable storage error: the operation ran
+					// normally on the bus, but the data is unusable. The
+					// error is transient, so the initiator's retry re-reads
+					// a clean word.
+					res.Fault = FaultECC
+				} else {
+					res.Data = w
+				}
+			}
 		} else if b.mem != nil {
 			if w, ok := b.mem.ReadWord(b.addr); ok {
 				res.Data = w
@@ -595,5 +720,30 @@ func (b *Bus) complete() {
 			Label: b.op.String(),
 		})
 	}
+	b.ports[b.portNum].initiator.BusComplete(res)
+}
+
+// completeFaulted delivers an injected-fault result. The operation is not
+// counted in Ops (it never completed) but its bus occupancy was charged.
+func (b *Bus) completeFaulted() {
+	b.stats.FaultedOps++
+	if b.tracer != nil {
+		b.tracer.Emit(obs.Event{
+			Cycle: uint64(b.clock.Now()),
+			Kind:  obs.KindFaultBusOp,
+			Unit:  int32(b.portNum),
+			Addr:  uint32(b.addr),
+			A:     uint64(b.op),
+			B:     uint64(b.fault),
+			Label: b.fault.String(),
+		})
+	}
+	res := Result{
+		Op:    b.op,
+		Addr:  b.addr,
+		Fault: b.fault,
+		Done:  b.clock.Now(),
+	}
+	b.fault = FaultNone
 	b.ports[b.portNum].initiator.BusComplete(res)
 }

@@ -11,6 +11,8 @@ import (
 	"fmt"
 
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
+	"firefly/internal/sim"
 )
 
 // Standard module sizes from the paper.
@@ -100,11 +102,49 @@ func (m *Module) write(addr mbus.Addr, data uint32) {
 // Accesses returns the module's read and write counts.
 func (m *Module) Accesses() (reads, writes uint64) { return m.reads, m.writes }
 
+// ECCModel injects storage soft errors. The storage modules carry ECC:
+// a single-bit (correctable) error is fixed as the word passes through
+// the checker and only counted; a multi-bit (uncorrectable) error is
+// detected but not fixable and surfaces to the bus as a faulted read.
+// Errors are transient — the model is consulted per read, so a retried
+// read draws fresh.
+type ECCModel interface {
+	// ReadFault reports whether a soft error struck the word being read
+	// and whether it exceeded the single-bit correction capability.
+	ReadFault(addr mbus.Addr) (faulted, uncorrectable bool)
+}
+
+// ECCStats counts the ECC checker's activity.
+type ECCStats struct {
+	Corrected     uint64 // single-bit errors fixed in flight
+	Uncorrectable uint64 // multi-bit errors surfaced as faulted reads
+}
+
 // System is the full storage array: master plus slaves, presented to the
-// bus as a single address space. It implements mbus.Memory.
+// bus as a single address space. It implements mbus.Memory (and
+// mbus.ECCMemory; without an ECC model installed the extended read is
+// identical to ReadWord).
 type System struct {
 	modules []*Module
+	ecc     ECCModel
+	eccStat ECCStats
+	tracer  *obs.Tracer
+	clock   *sim.Clock
 }
+
+// SetECC installs (or, with nil, removes) the soft-error model.
+func (s *System) SetECC(m ECCModel) { s.ecc = m }
+
+// SetTracer installs the observability tracer; the storage array emits
+// obs.KindFaultMemECC for every ECC event, stamped from clock (which may
+// be nil for clockless rigs).
+func (s *System) SetTracer(tr *obs.Tracer, clock *sim.Clock) {
+	s.tracer = tr
+	s.clock = clock
+}
+
+// ECCStats returns the ECC checker counters.
+func (s *System) ECCStats() ECCStats { return s.eccStat }
 
 // NewSystem builds a contiguous storage array of n modules of the given
 // size starting at address zero, matching how the Firefly backplane was
@@ -181,6 +221,48 @@ func (s *System) WriteWord(addr mbus.Addr, data uint32) bool {
 	return true
 }
 
+// ReadWordECC implements mbus.ECCMemory: ReadWord plus the soft-error
+// model. A correctable error is fixed (the returned data is good) and
+// counted; an uncorrectable one returns uncorrectable=true and the data
+// must not be used.
+func (s *System) ReadWordECC(addr mbus.Addr) (uint32, bool, bool) {
+	m := s.find(addr)
+	if m == nil {
+		return 0, false, false
+	}
+	data := m.read(addr)
+	if s.ecc != nil {
+		if faulted, unc := s.ecc.ReadFault(addr); faulted {
+			if unc {
+				s.eccStat.Uncorrectable++
+				s.emitECC(addr, 1)
+				return 0, true, true
+			}
+			s.eccStat.Corrected++
+			s.emitECC(addr, 0)
+		}
+	}
+	return data, true, false
+}
+
+// emitECC traces one ECC event (unc is 1 for uncorrectable).
+func (s *System) emitECC(addr mbus.Addr, unc uint64) {
+	if s.tracer == nil {
+		return
+	}
+	var cycle uint64
+	if s.clock != nil {
+		cycle = uint64(s.clock.Now())
+	}
+	s.tracer.Emit(obs.Event{
+		Cycle: cycle,
+		Kind:  obs.KindFaultMemECC,
+		Unit:  -1,
+		Addr:  uint32(addr),
+		A:     unc,
+	})
+}
+
 // Peek reads a word without touching the access counters; harnesses and
 // invariant checks use it so measurement does not perturb statistics.
 func (s *System) Peek(addr mbus.Addr) uint32 {
@@ -202,3 +284,4 @@ func (s *System) Poke(addr mbus.Addr, data uint32) {
 }
 
 var _ mbus.Memory = (*System)(nil)
+var _ mbus.ECCMemory = (*System)(nil)

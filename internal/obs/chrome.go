@@ -65,7 +65,8 @@ func (c *Chrome) nameTrack(tid int32, e Event) {
 	switch {
 	case tid == busTrack:
 		name = "MBus"
-	case e.Kind == KindDMAStart || e.Kind == KindDMAWord || e.Kind == KindDMADone:
+	case e.Kind == KindDMAStart || e.Kind == KindDMAWord ||
+		e.Kind == KindDMADone || e.Kind == KindDMAFault:
 		name = fmt.Sprintf("dma port %d", e.Unit)
 	default:
 		name = fmt.Sprintf("cpu%d", e.Unit)

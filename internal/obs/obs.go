@@ -99,6 +99,43 @@ const (
 	// B 1 when the write is a victim write-back (whose data must match,
 	// not change, the coherent value), Label the operation mnemonic.
 	KindBusStore
+	// KindDMAFault: a DMA transfer aborted before its last word. Unit is
+	// the engine's MBus port, Addr the faulting QBus address, A the words
+	// completed, B the cause (0 mapping fault, 1 injected NXM, 2 bus-fault
+	// retry budget exhausted), Label the device name. Successful transfers
+	// emit KindDMADone instead; the two are disjoint.
+	KindDMAFault
+	// KindFaultBusOp: an injected MBus operation fault. The operation
+	// occupied the bus but had no architectural effect — no snoop probes,
+	// no memory access. Unit is the initiating port, A the mbus.OpKind,
+	// B the mbus.FaultKind, Label the fault name.
+	KindFaultBusOp
+	// KindFaultMemECC: the storage modules detected a soft error on a
+	// read. A is 1 when the error exceeded ECC's correction capability
+	// (the read faults), 0 for a corrected single-bit error.
+	KindFaultMemECC
+	// KindFaultCacheTag: a cache tag-store parity error on a CPU access.
+	// Unit is the processor, Addr the line. B 0: the line was clean, so
+	// the controller invalidates it and refetches (correctable — the
+	// following KindCacheState arc to Invalid is fault recovery, not a
+	// protocol transition). B 1: the line was dirty, the sole copy of its
+	// data; the error is uncorrectable and latches a machine check.
+	KindFaultCacheTag
+	// KindFaultDMAStall: the QBus DMA engine stalled on an injected
+	// device fault. A is the stall length in cycles.
+	KindFaultDMAStall
+	// KindFaultRetry: an initiator is retrying a faulted bus operation
+	// after backoff. Unit is the initiator, Addr the operation address,
+	// A the attempt number (1-based), B the backoff in cycles.
+	KindFaultRetry
+	// KindMachineCheck: an uncorrectable fault was latched. Unit is the
+	// processor or port, Addr the faulting address, A the cause (1: bus
+	// fault retry budget exhausted, 2: tag parity on a dirty line).
+	KindMachineCheck
+	// KindCPUOffline: Topaz took a processor out of service after its
+	// cache reported an uncorrectable fault; its thread returned to the
+	// ready queue for the surviving processors. Unit is the processor.
+	KindCPUOffline
 
 	numKinds
 )
@@ -124,6 +161,14 @@ var kindNames = [numKinds]string{
 	KindCacheLoad:           "cache.load",
 	KindCacheStore:          "cache.store",
 	KindBusStore:            "bus.store",
+	KindDMAFault:            "dma.fault",
+	KindFaultBusOp:          "fault.bus_op",
+	KindFaultMemECC:         "fault.mem_ecc",
+	KindFaultCacheTag:       "fault.cache_tag",
+	KindFaultDMAStall:       "fault.dma_stall",
+	KindFaultRetry:          "fault.retry",
+	KindMachineCheck:        "fault.machine_check",
+	KindCPUOffline:          "sched.offline",
 }
 
 // String returns the kind's dotted name.

@@ -46,6 +46,7 @@ func (c DiskConfig) withDefaults() DiskConfig {
 type DiskStats struct {
 	Reads      stats.Counter
 	Writes     stats.Counter
+	Faults     stats.Counter // commands whose DMA transfer aborted
 	Interrupts stats.Counter
 }
 
@@ -163,7 +164,15 @@ func (d *Disk) startTransfer() {
 		d.engine.Submit(&Transfer{
 			Device: "rqdx3", ToMemory: false,
 			QAddr: op.qaddr, Words: sectorWords, Data: buf,
-			OnDone: func() {
+			OnDone: func(fault bool) {
+				if fault {
+					// A partial DMA read must not reach the media: the
+					// sector keeps its prior contents and the completion
+					// interrupt carries error status.
+					d.stats.Faults.Inc()
+					d.complete(op)
+					return
+				}
 				d.store[op.lba] = buf
 				d.stats.Writes.Inc()
 				d.complete(op)
@@ -175,8 +184,12 @@ func (d *Disk) startTransfer() {
 	d.engine.Submit(&Transfer{
 		Device: "rqdx3", ToMemory: true,
 		QAddr: op.qaddr, Words: sectorWords, Data: data,
-		OnDone: func() {
-			d.stats.Reads.Inc()
+		OnDone: func(fault bool) {
+			if fault {
+				d.stats.Faults.Inc()
+			} else {
+				d.stats.Reads.Inc()
+			}
 			d.complete(op)
 		},
 	})
@@ -211,6 +224,7 @@ func (c EthernetConfig) withDefaults() EthernetConfig {
 type EthernetStats struct {
 	Transmitted stats.Counter
 	Received    stats.Counter
+	Faults      stats.Counter // operations whose DMA transfer aborted
 	Interrupts  stats.Counter
 	WordsOnWire stats.Counter
 }
@@ -305,7 +319,14 @@ func (e *Ethernet) Step() {
 		e.engine.Submit(&Transfer{
 			Device: "deqna", ToMemory: false,
 			QAddr: op.qaddr, Words: op.words, Data: buf,
-			OnDone: func() {
+			OnDone: func(fault bool) {
+				if fault {
+					// Nothing goes on the wire; complete with an empty
+					// packet so software sees the transmit error.
+					e.stats.Faults.Inc()
+					e.complete(&op, Packet{})
+					return
+				}
 				op.payload = buf
 				e.beginWire(op.words)
 			},
@@ -336,7 +357,14 @@ func (e *Ethernet) finishWire() {
 	e.engine.Submit(&Transfer{
 		Device: "deqna", ToMemory: true,
 		QAddr: op.qaddr, Words: op.words, Data: op.payload,
-		OnDone: func() {
+		OnDone: func(fault bool) {
+			if fault {
+				// The packet is lost (a real DEQNA would flag a receive
+				// overrun); the interrupt still fires with error status.
+				e.stats.Faults.Inc()
+				e.complete(op, Packet{})
+				return
+			}
 			e.stats.Received.Inc()
 			e.complete(op, Packet{Words: op.payload})
 		},

@@ -103,8 +103,22 @@ type Transfer struct {
 	// Data supplies the words written to memory (ToMemory) and receives
 	// the words read from memory (!ToMemory). Length must be Words.
 	Data []uint32
-	// OnDone runs when the last word completes.
-	OnDone func()
+	// OnDone runs when the transfer leaves the engine. fault is false
+	// when every word completed, true when the transfer aborted early —
+	// a mapping fault (NXM on the real bus), an injected device NXM, or
+	// bus-fault retry exhaustion. An aborted ToMemory transfer may have
+	// written a prefix of Data to memory; an aborted read leaves the tail
+	// of Data untouched. Devices must check fault before consuming Data.
+	OnDone func(fault bool)
+}
+
+// DMAFaultInjector injects QBus-side DMA faults. It is consulted once
+// per word, after address translation succeeds: nxm aborts the transfer
+// as a non-existent-memory error, while a non-zero stall freezes the
+// engine for that many cycles (bus-grant contention, device not ready)
+// before the word is retried from the top.
+type DMAFaultInjector interface {
+	DMAWordFault(addr mbus.Addr) (nxm bool, stallCycles uint64)
 }
 
 // EngineStats counts DMA activity.
@@ -114,6 +128,11 @@ type EngineStats struct {
 	BusOps        stats.Counter
 	StallCycles   stats.Counter // cycles waiting for MBus grant beyond pacing
 	MapFaults     stats.Counter
+	NXMFaults     stats.Counter // injected device NXM aborts
+	FaultStalls   stats.Counter // injected DMA stalls
+	BusFaults     stats.Counter // MBus operations that completed faulted
+	Retries       stats.Counter // bus-fault retries issued
+	Aborted       stats.Counter // transfers abandoned after retry exhaustion
 	PerDeviceWord map[string]uint64
 }
 
@@ -133,6 +152,13 @@ type Engine struct {
 	reqValid   bool
 	req        mbus.Request
 	inFlight   bool
+
+	inj        DMAFaultInjector
+	maxRetries int
+	backoff    uint64
+	retries    int
+	retryAt    sim.Cycle
+	stallTill  sim.Cycle
 
 	stats EngineStats
 }
@@ -175,6 +201,18 @@ func (e *Engine) emit(kind obs.Kind, addr mbus.Addr, a, b uint64, label string) 
 
 // Port returns the engine's MBus port number.
 func (e *Engine) Port() int { return e.port }
+
+// SetFaultPolicy installs a DMA fault injector (nil disables injection)
+// and the recovery policy for faulted bus operations: a faulted word is
+// retried up to maxRetries times with exponential backoff starting at
+// backoffCycles, then the transfer aborts with OnDone(true). The policy
+// also governs recovery from MBus-side injected faults, which reach the
+// engine through Result.Fault even with no QBus injector installed.
+func (e *Engine) SetFaultPolicy(inj DMAFaultInjector, maxRetries int, backoffCycles uint64) {
+	e.inj = inj
+	e.maxRetries = maxRetries
+	e.backoff = backoffCycles
+}
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() EngineStats {
@@ -233,18 +271,33 @@ func (e *Engine) Step() {
 		e.emit(obs.KindDMAStart, mbus.Addr(e.cur.QAddr), uint64(e.cur.Words),
 			boolArg(e.cur.ToMemory), e.cur.Device)
 	}
-	if e.clock.Now() < e.nextIssue {
+	if e.clock.Now() < e.nextIssue || e.clock.Now() < e.stallTill {
 		return
 	}
 	qaddr := e.cur.QAddr + uint32(e.pos*4)
 	phys, err := e.maps.Translate(qaddr)
 	if err != nil {
 		// A mapping fault aborts the transfer, as a real controller would
-		// NXM-abort; the device learns via OnDone with the fault counted.
+		// NXM-abort; the device learns via OnDone(true).
 		e.stats.MapFaults.Inc()
-		e.emit(obs.KindDMADone, mbus.Addr(qaddr), uint64(e.pos), 1, e.cur.Device)
-		e.finishCurrent()
+		e.emit(obs.KindDMAFault, mbus.Addr(qaddr), uint64(e.pos), 0, e.cur.Device)
+		e.finishCurrent(true)
 		return
+	}
+	if e.inj != nil {
+		nxm, stall := e.inj.DMAWordFault(mbus.Addr(qaddr))
+		if nxm {
+			e.stats.NXMFaults.Inc()
+			e.emit(obs.KindDMAFault, mbus.Addr(qaddr), uint64(e.pos), 1, e.cur.Device)
+			e.finishCurrent(true)
+			return
+		}
+		if stall > 0 {
+			e.stats.FaultStalls.Inc()
+			e.emit(obs.KindFaultDMAStall, mbus.Addr(qaddr), stall, 0, e.cur.Device)
+			e.stallTill = e.clock.Now() + sim.Cycle(stall)
+			return
+		}
 	}
 	if e.cur.ToMemory {
 		e.req = mbus.Request{Op: mbus.MWrite, Addr: phys, Data: e.cur.Data[e.pos]}
@@ -259,7 +312,21 @@ func (e *Engine) Step() {
 }
 
 // BusRequest implements mbus.Initiator.
-func (e *Engine) BusRequest() (mbus.Request, bool) { return e.req, e.reqValid }
+func (e *Engine) BusRequest() (mbus.Request, bool) {
+	if !e.reqValid {
+		return mbus.Request{}, false
+	}
+	if e.retryAt != 0 {
+		// Backing off after a faulted word. The request stays raised so
+		// Idle() reports work pending, but arbitration waits out the
+		// backoff window.
+		if e.clock.Now() < e.retryAt {
+			return mbus.Request{}, false
+		}
+		e.retryAt = 0
+	}
+	return e.req, true
+}
 
 // BusGrant implements mbus.Initiator.
 func (e *Engine) BusGrant() {
@@ -271,6 +338,11 @@ func (e *Engine) BusGrant() {
 func (e *Engine) BusComplete(res mbus.Result) {
 	e.inFlight = false
 	e.stats.BusOps.Inc()
+	if res.Fault != mbus.FaultNone {
+		e.busFault()
+		return
+	}
+	e.retries = 0
 	if !e.cur.ToMemory {
 		e.cur.Data[e.pos] = res.Data
 	}
@@ -279,8 +351,28 @@ func (e *Engine) BusComplete(res mbus.Result) {
 	e.pos++
 	if e.pos >= e.cur.Words {
 		e.emit(obs.KindDMADone, mbus.Addr(e.cur.QAddr), uint64(e.pos), 0, e.cur.Device)
-		e.finishCurrent()
+		e.finishCurrent(false)
 	}
+}
+
+// busFault recovers from a faulted MBus operation: bounded retry with
+// exponential backoff, then abort the transfer.
+func (e *Engine) busFault() {
+	e.stats.BusFaults.Inc()
+	if e.retries < e.maxRetries {
+		e.retries++
+		e.stats.Retries.Inc()
+		backoff := e.backoff << (e.retries - 1)
+		e.retryAt = e.clock.Now() + sim.Cycle(backoff)
+		// e.req still holds the faulted word's request; re-raise it.
+		e.reqValid = true
+		e.emit(obs.KindFaultRetry, e.req.Addr, uint64(e.retries), backoff, e.cur.Device)
+		return
+	}
+	qaddr := e.cur.QAddr + uint32(e.pos*4)
+	e.stats.Aborted.Inc()
+	e.emit(obs.KindDMAFault, mbus.Addr(qaddr), uint64(e.pos), 2, e.cur.Device)
+	e.finishCurrent(true)
 }
 
 // boolArg converts a flag to an event argument.
@@ -291,12 +383,15 @@ func boolArg(b bool) uint64 {
 	return 0
 }
 
-func (e *Engine) finishCurrent() {
+func (e *Engine) finishCurrent(fault bool) {
 	done := e.cur.OnDone
 	e.cur = nil
 	e.pos = 0
+	e.retries = 0
+	e.retryAt = 0
+	e.stallTill = 0
 	if done != nil {
-		done()
+		done(fault)
 	}
 }
 

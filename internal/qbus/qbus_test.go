@@ -89,14 +89,17 @@ func TestDMAWriteToMemory(t *testing.T) {
 	b := newBench(t, 1, 4)
 	b.maps.MapRange(0, 0x100000, 4096)
 	data := []uint32{10, 20, 30, 40}
-	done := false
+	done, faulted := false, false
 	b.engine.Submit(&Transfer{
 		Device: "test", ToMemory: true, QAddr: 0, Words: 4, Data: data,
-		OnDone: func() { done = true },
+		OnDone: func(fault bool) { done, faulted = true, fault },
 	})
 	b.run(200)
 	if !done {
 		t.Fatal("transfer did not complete")
+	}
+	if faulted {
+		t.Fatal("clean transfer reported a fault")
 	}
 	for i, want := range data {
 		if got := b.m.Memory().Peek(mbus.Addr(0x100000 + i*4)); got != want {
@@ -177,7 +180,7 @@ func TestDMAPacing(t *testing.T) {
 	data := make([]uint32, 10)
 	b.engine.Submit(&Transfer{
 		Device: "test", ToMemory: true, QAddr: 0, Words: 10, Data: data,
-		OnDone: func() { doneAt = uint64(b.m.Clock().Now()) },
+		OnDone: func(bool) { doneAt = uint64(b.m.Clock().Now()) },
 	})
 	b.run(2000)
 	if doneAt == 0 {
@@ -194,15 +197,15 @@ func TestQBusSaturationLoad(t *testing.T) {
 	// 30% of the main memory bandwidth").
 	b := newBench(t, 1, 0) // default pacing
 	b.maps.MapRange(0, 0x100000, 1<<20)
-	var refill func()
+	var refill func(bool)
 	words := 256
-	refill = func() {
+	refill = func(bool) {
 		b.engine.Submit(&Transfer{
 			Device: "flood", ToMemory: true, QAddr: 0, Words: words,
 			Data: make([]uint32, words), OnDone: refill,
 		})
 	}
-	refill()
+	refill(false)
 	b.run(500_000)
 	load := b.m.Bus().Stats().Load()
 	if load < 0.25 || load > 0.36 {
@@ -213,17 +216,23 @@ func TestQBusSaturationLoad(t *testing.T) {
 func TestEngineMapFaultAborts(t *testing.T) {
 	b := newBench(t, 1, 4)
 	// No mapping installed.
-	done := false
+	done, faulted := false, false
 	b.engine.Submit(&Transfer{
 		Device: "test", ToMemory: true, QAddr: 0, Words: 1, Data: []uint32{1},
-		OnDone: func() { done = true },
+		OnDone: func(fault bool) { done, faulted = true, fault },
 	})
 	b.run(100)
 	if !done {
 		t.Fatal("faulted transfer never completed")
 	}
+	if !faulted {
+		t.Fatal("NXM abort reported success to the device")
+	}
 	if b.engine.Stats().MapFaults.Value() != 1 {
 		t.Fatal("map fault not counted")
+	}
+	if !b.engine.Idle() {
+		t.Fatal("engine not idle after aborted transfer")
 	}
 }
 

@@ -66,6 +66,7 @@ type Stats struct {
 	Forks           uint64
 	Exits           uint64
 	IdleInstr       uint64
+	Offlines        uint64
 }
 
 // procState is the per-processor scheduler state.
@@ -74,6 +75,7 @@ type procState struct {
 	src         *procSource
 	switchLeft  uint64
 	quantumUsed uint64
+	offline     bool
 }
 
 // procSource is the reference source installed on each processor: forced
@@ -166,6 +168,7 @@ func NewKernel(m *machine.Machine, cfg Config) *Kernel {
 	reg.Register("kernel.forks", func() uint64 { return k.stats.Forks })
 	reg.Register("kernel.exits", func() uint64 { return k.stats.Exits })
 	reg.Register("kernel.idle_instr", func() uint64 { return k.stats.IdleInstr })
+	reg.Register("kernel.offlines", func() uint64 { return k.stats.Offlines })
 	return k
 }
 
@@ -298,12 +301,57 @@ func (k *Kernel) RunUntilDone(maxCycles uint64) bool {
 	return k.Done()
 }
 
+// Offline removes a processor from scheduling after an uncorrectable
+// hardware fault: the current thread (if any) returns to the ready queue
+// to run elsewhere, the machine-check latch is cleared, and the CPU is
+// halted. Topaz on the real Firefly survived processor loss the same
+// way — the remaining processors absorb the load. Offlining the last
+// processor strands the ready queue; the simulator allows it (the run
+// then deadlocks visibly) rather than pretending a dead CPU can run.
+func (k *Kernel) Offline(proc int) {
+	ps := k.procs[proc]
+	if ps.offline {
+		return
+	}
+	ps.offline = true
+	k.stats.Offlines++
+	if t := ps.cur; t != nil {
+		t.state = Ready
+		t.proc = -1
+		k.ready = append(k.ready, t)
+	}
+	ps.cur = nil
+	ps.src.active = nil
+	if tr := k.m.Tracer(); tr != nil {
+		tr.Emit(obs.Event{
+			Cycle: uint64(k.m.Clock().Now()),
+			Kind:  obs.KindCPUOffline,
+			Unit:  int32(proc),
+		})
+	}
+	k.m.Cache(proc).ClearMachineCheck()
+	k.m.CPU(proc).Halt()
+}
+
+// IsOffline reports whether processor proc has been offlined.
+func (k *Kernel) IsOffline(proc int) bool { return k.procs[proc].offline }
+
 // onInstr is the per-instruction scheduler hook for processor proc.
 func (k *Kernel) onInstr(proc int) {
+	ps := k.procs[proc]
+	if ps.offline {
+		return
+	}
+	if k.m.Cache(proc).MachineCheck() {
+		// An uncorrectable cache fault (tag parity on a dirty line, or a
+		// bus access abandoned after retry exhaustion) latched since the
+		// last instruction: take the processor out of service.
+		k.Offline(proc)
+		return
+	}
 	if len(k.sleepers) > 0 && k.m.Clock().Now() >= k.earliestWake {
 		k.wakeSleepers()
 	}
-	ps := k.procs[proc]
 	if ps.switchLeft > 0 {
 		ps.switchLeft--
 		if ps.switchLeft == 0 {
