@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"firefly"
+	"firefly/internal/cluster"
 	"firefly/internal/core"
 	"firefly/internal/display"
 	"firefly/internal/experiments"
@@ -262,6 +263,52 @@ func BenchmarkMachineCycleTraced(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.Step()
 	}
+}
+
+// BenchmarkClusterCycle measures one lockstep step of a two-Firefly
+// cluster carrying live RPC traffic: the shared wire plus two 2-CPU
+// MicroVAX machines, each with a Topaz kernel, a DEQNA, and DMA in
+// flight. Compare with BenchmarkClusterMemberCycle — the ratio is what
+// the second machine and the Ethernet cost per cluster cycle.
+func BenchmarkClusterCycle(b *testing.B) {
+	cl := cluster.New(cluster.Config{Seed: 7})
+	cl.Node(1).StartServer()
+	cl.Node(0).StartCallers(3, 1, 0)
+	cl.Run(200_000) // fill the RPC pipeline
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Step()
+	}
+}
+
+// BenchmarkClusterMemberCycle is the single-machine baseline for
+// BenchmarkClusterCycle: one 2-CPU MicroVAX of the cluster's member
+// configuration stepping alone under a comparable synthetic load, no
+// wire and no second machine.
+func BenchmarkClusterMemberCycle(b *testing.B) {
+	m := machine.New(machine.MicroVAXConfig(2))
+	m.AttachSyntheticLoad(firefly.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
+	m.Warmup(10_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Step()
+	}
+}
+
+// BenchmarkClusterRPC pushes RPC calls across the simulated wire at the
+// §6 knee (three caller threads) and reports the payload bandwidth the
+// cluster sustains.
+func BenchmarkClusterRPC(b *testing.B) {
+	var mbps float64
+	for i := 0; i < b.N; i++ {
+		const secs = 0.1
+		cl := cluster.New(cluster.Config{Seed: 7})
+		cl.Node(1).StartServer()
+		cl.Node(0).StartCallers(3, 1, 0)
+		cl.RunSeconds(secs)
+		mbps = float64(cl.Node(0).Stats().BytesMoved.Value()) * 8 / secs / 1e6
+	}
+	b.ReportMetric(mbps, "Mbit/s@3threads")
 }
 
 // BenchmarkBitBlt measures a 64x64 frame buffer copy.

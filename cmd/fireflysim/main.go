@@ -12,6 +12,8 @@
 //	fireflysim -cpus 5 -check -seconds 0.005
 //	fireflysim -cpus 4 -faults "all=1e-4" -check -seconds 0.005
 //	fireflysim -replay repro.replay
+//	fireflysim -cluster 2 -callers 3 -seconds 0.5
+//	fireflysim -cluster 3 -faults "drop=0.02" -seconds 0.2
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 
 	"firefly"
 	"firefly/internal/check"
+	"firefly/internal/cluster"
 	"firefly/internal/experiments"
 	"firefly/internal/fault"
 	"firefly/internal/machine"
@@ -30,6 +33,57 @@ import (
 	"firefly/internal/trace"
 	"firefly/internal/workload"
 )
+
+// runCluster drives N Fireflies on a shared Ethernet: node 0 runs the
+// RPC server, every other node aims caller threads at it, and the run
+// reports per-node call counts plus wire-level statistics.
+func runCluster(n, callers int, seconds float64, seed uint64, faults string) {
+	if n < 2 {
+		fmt.Fprintf(os.Stderr, "fireflysim: -cluster %d: a cluster needs at least 2 machines\n", n)
+		os.Exit(2)
+	}
+	if callers < 1 {
+		fmt.Fprintf(os.Stderr, "fireflysim: -callers %d: need at least 1 caller thread\n", callers)
+		os.Exit(2)
+	}
+	cfg := cluster.Config{Machines: n, Seed: seed}
+	if faults != "" {
+		fcfg, err := fault.ParseSpec(faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fcfg
+	}
+	cl := cluster.New(cfg)
+	cl.Node(0).StartServer()
+	for i := 1; i < n; i++ {
+		cl.Node(i).StartCallers(callers, 0, 0)
+	}
+	cl.RunSeconds(seconds)
+
+	var payload uint64
+	fmt.Printf("cluster: %d machines, %d caller threads each, %.3f simulated seconds\n",
+		n, callers, seconds)
+	for i := 1; i < n; i++ {
+		st := cl.Node(i).Stats()
+		payload += st.BytesMoved.Value()
+		fmt.Printf("node %d: %d calls completed (%d issued, %d retransmits, %d failed), mean latency %.0f µs\n",
+			i, st.CallsCompleted.Value(), st.CallsIssued.Value(),
+			st.Retransmits.Value(), st.CallsFailed.Value(), cl.Node(i).MeanLatencyUS())
+	}
+	srv := cl.Node(0).Stats()
+	fmt.Printf("node 0 (server): %d calls served, %d duplicates absorbed\n",
+		srv.Served.Value(), srv.DupCalls.Value())
+	seg := cl.Segment().Stats()
+	fmt.Printf("wire: %.2f Mbit/s payload, utilization %.2f, %d frames (%d collisions, %d deferrals, %d dropped)\n",
+		float64(payload)*8/seconds/1e6, cl.Segment().Utilization(),
+		seg.Frames.Value(), seg.Collisions.Value(), seg.Deferrals.Value(),
+		seg.Dropped.Value())
+	if plan := cl.NetFaults(); plan != nil {
+		fmt.Printf("faults: %d frames dropped by the plan\n", plan.Stats().NetDrops.Value())
+	}
+}
 
 func main() {
 	cpus := flag.Int("cpus", 5, "number of processors (hardware shipped 1-7)")
@@ -50,6 +104,8 @@ func main() {
 	checkFlag := flag.Bool("check", false, "run the coherence checker alongside the workload (oracle + invariant walks)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "bus=1e-4,mem=1e-4" or "all=1e-4" (keys: bus, timeout, mem, memunc, nxm, stall, tag, all, retries, backoff, stallcycles, hold, start, end, seed, addrmin, addrmax)`)
 	replay := flag.String("replay", "", "re-execute a coherence-checker replay file and report the outcome")
+	clusterN := flag.Int("cluster", 0, "run an N-machine cluster on a shared Ethernet instead of one machine (node 0 serves, the rest call)")
+	callers := flag.Int("callers", 3, "caller threads per client machine in -cluster mode")
 	flag.Parse()
 
 	if *replay != "" {
@@ -67,6 +123,11 @@ func main() {
 			fmt.Printf("replay: VIOLATION %v\n", v)
 		}
 		os.Exit(1)
+	}
+
+	if *clusterN > 0 {
+		runCluster(*clusterN, *callers, *seconds, *seed, *faults)
+		return
 	}
 
 	if *experiment != "" {

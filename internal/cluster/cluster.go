@@ -1,0 +1,168 @@
+// Package cluster assembles multiple Firefly machines around a shared
+// Ethernet segment — the environment the paper's §6 measures: "a network
+// communication facility that allows programs on one Firefly to
+// communicate with programs on other Fireflies ... by RPC."
+//
+// Each machine is an ordinary machine.Machine with its own clock, bus,
+// caches, and Topaz kernel, plus an rpc.Node (DEQNA, DMA engine, and the
+// RPC runtime). The cluster steps everything in lockstep from a single
+// cluster clock: one cluster cycle ticks the wire, then each machine, in
+// index order. The machines remain independently clocked — nothing but
+// the Ethernet couples them, and frames take real wire time to cross —
+// but the lockstep schedule makes whole-cluster runs deterministic: a
+// fixed configuration and seed reproduces byte-identical reports and
+// trace streams.
+package cluster
+
+import (
+	"fmt"
+
+	"firefly/internal/fault"
+	"firefly/internal/machine"
+	"firefly/internal/net"
+	"firefly/internal/qbus"
+	"firefly/internal/rpc"
+	"firefly/internal/sim"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Machines is the number of Fireflies on the segment (default 2).
+	Machines int
+	// Machine templates each member; Seed is offset per machine index so
+	// the members' random streams are independent. Zero value: a
+	// two-processor MicroVAX Firefly.
+	Machine machine.Config
+	// Net configures the shared segment. Net.Seed defaults to Seed.
+	Net net.Config
+	// Node configures every machine's RPC runtime.
+	Node rpc.NodeConfig
+	// Faults, when non-nil, attaches a fault plan to every machine (the
+	// usual bus/memory/DMA/tag classes) and a segment-level plan whose
+	// NetDropRate loses delivered frames. Seeded from Seed, so fault
+	// storms reproduce.
+	Faults *fault.Config
+	// Seed drives every random stream in the cluster (default 1).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines == 0 {
+		c.Machines = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Machine.Processors == 0 {
+		c.Machine = machine.MicroVAXConfig(2)
+	}
+	if c.Net.Seed == 0 {
+		c.Net.Seed = c.Seed
+	}
+	return c
+}
+
+// medium adapts one DEQNA to its net.Station: transmit DMA completion
+// hands the frame words to the station, which contends for the wire and
+// reports success or abort back to the NIC.
+type medium struct{ st *net.Station }
+
+func (md *medium) Transmit(_ int, pkt qbus.Packet, done func(ok bool)) {
+	md.st.Send(net.Frame{Dst: rpc.FrameDst(pkt.Words), Words: pkt.Words}, done)
+}
+
+// Cluster is a set of lockstep-stepped Fireflies on one Ethernet.
+type Cluster struct {
+	cfg      Config
+	clock    *sim.Clock // the cluster clock: drives the segment
+	seg      *net.Segment
+	machines []*machine.Machine
+	nodes    []*rpc.Node
+	netPlan  *fault.Plan
+}
+
+// New builds the cluster: machines, kernels, NICs, and the wire.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	if cfg.Machines < 2 {
+		panic(fmt.Sprintf("cluster: %d machines cannot network", cfg.Machines))
+	}
+	c := &Cluster{cfg: cfg, clock: &sim.Clock{}}
+	c.seg = net.NewSegment(c.clock, cfg.Net)
+	if cfg.Faults != nil {
+		fcfg := *cfg.Faults
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed
+		}
+		c.netPlan = fault.NewPlan(fcfg, c.clock)
+		c.seg.SetFaultInjector(c.netPlan)
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		mcfg := cfg.Machine
+		mcfg.Seed = cfg.Seed*1009 + uint64(i)
+		mcfg.Faults = cfg.Faults
+		m := machine.New(mcfg)
+		node := rpc.NewNode(m, i, cfg.Node)
+		st := c.seg.Attach(func(f net.Frame) { node.Deliver(f.Words) })
+		node.Ethernet().AttachMedium(&medium{st: st}, i)
+		c.machines = append(c.machines, m)
+		c.nodes = append(c.nodes, node)
+	}
+	return c
+}
+
+// Clock returns the cluster clock (wire time).
+func (c *Cluster) Clock() *sim.Clock { return c.clock }
+
+// Segment returns the shared Ethernet.
+func (c *Cluster) Segment() *net.Segment { return c.seg }
+
+// Machines returns the member machines in station order.
+func (c *Cluster) Machines() []*machine.Machine { return c.machines }
+
+// Machine returns member i.
+func (c *Cluster) Machine(i int) *machine.Machine { return c.machines[i] }
+
+// Node returns member i's RPC runtime.
+func (c *Cluster) Node(i int) *rpc.Node { return c.nodes[i] }
+
+// NetFaults returns the segment-level fault plan, or nil.
+func (c *Cluster) NetFaults() *fault.Plan { return c.netPlan }
+
+// Size returns the member count.
+func (c *Cluster) Size() int { return len(c.machines) }
+
+// Step advances the cluster one cycle: the wire first — so a frame
+// finishing this cycle is deliverable before any machine's devices step
+// — then every machine, in station order.
+func (c *Cluster) Step() {
+	c.clock.Tick()
+	c.seg.Step()
+	for _, m := range c.machines {
+		m.Step()
+	}
+}
+
+// Run advances the cluster n cycles.
+func (c *Cluster) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// RunSeconds advances the cluster by simulated wall time.
+func (c *Cluster) RunSeconds(s float64) {
+	c.Run(uint64(s * 1e9 / sim.CycleNS))
+}
+
+// RunUntil steps until pred holds or maxCycles elapse; it reports
+// whether pred held.
+func (c *Cluster) RunUntil(pred func() bool, maxCycles uint64) bool {
+	for i := uint64(0); i < maxCycles; i++ {
+		if pred() {
+			return true
+		}
+		c.Step()
+	}
+	return pred()
+}

@@ -75,6 +75,7 @@ func All() []Runner {
 		{"migration", MigrationAblation, "scheduler migration-avoidance ablation"},
 		{"cvax", CVAXSpeedup, "CVAX upgrade speedup"},
 		{"rpc", RPCThroughput, "RPC data-transfer bandwidth vs outstanding calls"},
+		{"cluster", ClusterRPC, "multi-Firefly RPC over the shared Ethernet (§6)"},
 		{"qbus", QBusLoad, "fully loaded QBus vs MBus bandwidth"},
 		{"mdc", MDCThroughput, "display controller paint rates"},
 		{"make", ParallelMake, "parallel make speedup"},

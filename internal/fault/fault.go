@@ -7,7 +7,7 @@
 // aborts and DMA stalls, and cache tag-store parity faults.
 //
 // Determinism contract: a Plan owns one independent xorshift stream per
-// subsystem (bus, memory, DMA, tags), all derived from one seed, so a
+// subsystem (bus, memory, DMA, tags, network), all derived from one seed, so a
 // given plan + machine seed reproduces the exact same fault storm —
 // injections, recoveries, event stream, and final report are
 // byte-identical across runs. A plan whose rates are all zero draws no
@@ -17,8 +17,8 @@
 // The package deliberately imports only mbus, sim, and stats. The
 // component-side injection points are small interfaces declared by each
 // component (mbus.FaultInjector, memory.ECCModel, core.TagFaultInjector,
-// qbus.DMAFaultInjector); Plan satisfies all of them structurally, so no
-// component depends on this package.
+// qbus.DMAFaultInjector, net.FaultInjector); Plan satisfies all of them
+// structurally, so no component depends on this package.
 package fault
 
 import (
@@ -66,6 +66,11 @@ type Config struct {
 	// (correctable); on a dirty line — the sole copy of its data — the
 	// error is uncorrectable and latches a machine check.
 	TagParityRate float64
+
+	// NetDropRate is the per-frame probability that the shared Ethernet
+	// segment silently loses a delivered frame (receiver deafness, CRC
+	// damage). The RPC transport recovers by retransmission.
+	NetDropRate float64
 
 	// MaxRetries bounds the retries an initiator spends on a faulted bus
 	// operation or DMA word before giving up (default 4).
@@ -119,6 +124,7 @@ func (c Config) Validate() error {
 		{"DMA NXM rate", c.DMANXMRate},
 		{"DMA stall rate", c.DMAStallRate},
 		{"tag parity rate", c.TagParityRate},
+		{"net frame-drop rate", c.NetDropRate},
 	} {
 		if err := check(r.name, r.v); err != nil {
 			return err
@@ -140,12 +146,14 @@ type Stats struct {
 	DMANXM       stats.Counter
 	DMAStalls    stats.Counter
 	TagParity    stats.Counter
+	NetDrops     stats.Counter
 }
 
 // Total returns the total injections.
 func (s Stats) Total() uint64 {
 	return s.BusParity.Value() + s.BusTimeouts.Value() + s.MemSoft.Value() +
-		s.DMANXM.Value() + s.DMAStalls.Value() + s.TagParity.Value()
+		s.DMANXM.Value() + s.DMAStalls.Value() + s.TagParity.Value() +
+		s.NetDrops.Value()
 }
 
 // Plan is a live injector built from a Config: one per machine, wired by
@@ -160,6 +168,7 @@ type Plan struct {
 	memRand *sim.Rand
 	dmaRand *sim.Rand
 	tagRand *sim.Rand
+	netRand *sim.Rand
 
 	stats Stats
 }
@@ -172,12 +181,15 @@ func NewPlan(cfg Config, clock *sim.Clock) *Plan {
 	}
 	root := sim.NewRand(cfg.Seed*0x9e3779b97f4a7c15 + 0xf4a17)
 	return &Plan{
-		cfg:     cfg,
-		clock:   clock,
+		cfg:   cfg,
+		clock: clock,
+		// The net stream is split last, so plans predating it draw the
+		// exact same bus/mem/dma/tag sequences as before.
 		busRand: root.Split(),
 		memRand: root.Split(),
 		dmaRand: root.Split(),
 		tagRand: root.Split(),
+		netRand: root.Split(),
 	}
 }
 
@@ -263,6 +275,21 @@ func (p *Plan) TagFault(addr mbus.Addr) bool {
 	return true
 }
 
+// FrameDrop implements net.FaultInjector: consulted once per delivered
+// Ethernet frame. Frames have no MBus address, so only the plan's cycle
+// window applies.
+func (p *Plan) FrameDrop() bool {
+	now := uint64(p.clock.Now())
+	if now < p.cfg.StartCycle || (p.cfg.EndCycle != 0 && now > p.cfg.EndCycle) {
+		return false
+	}
+	if !p.netRand.Bool(p.cfg.NetDropRate) {
+		return false
+	}
+	p.stats.NetDrops.Inc()
+	return true
+}
+
 // RegisterStats names the plan's injection counters in a registry.
 func (p *Plan) RegisterStats(r *stats.Registry) {
 	r.RegisterCounter("fault.bus_parity", &p.stats.BusParity)
@@ -272,14 +299,16 @@ func (p *Plan) RegisterStats(r *stats.Registry) {
 	r.RegisterCounter("fault.dma_nxm", &p.stats.DMANXM)
 	r.RegisterCounter("fault.dma_stalls", &p.stats.DMAStalls)
 	r.RegisterCounter("fault.tag_parity", &p.stats.TagParity)
+	r.RegisterCounter("fault.net_drops", &p.stats.NetDrops)
 }
 
 // ParseSpec parses the -faults command-line syntax: comma-separated
 // key=value pairs. Keys: bus (parity rate), timeout (timeout rate), mem
 // (soft-error rate), memunc (uncorrectable fraction), nxm, stall (DMA
-// rates), tag (tag parity rate), all (sets bus/timeout/mem/nxm/stall/tag
-// to one rate), retries, backoff, stallcycles, hold, start, end, seed,
-// addrmin, addrmax. Example: "bus=1e-4,mem=1e-4,retries=4".
+// rates), tag (tag parity rate), drop (Ethernet frame-drop rate), all
+// (sets bus/timeout/mem/nxm/stall/tag to one rate), retries, backoff,
+// stallcycles, hold, start, end, seed, addrmin, addrmax. Example:
+// "bus=1e-4,mem=1e-4,retries=4".
 func ParseSpec(spec string) (Config, error) {
 	var cfg Config
 	for _, field := range strings.Split(spec, ",") {
@@ -325,6 +354,8 @@ func ParseSpec(spec string) (Config, error) {
 			err = rate(&cfg.DMAStallRate)
 		case "tag":
 			err = rate(&cfg.TagParityRate)
+		case "drop":
+			err = rate(&cfg.NetDropRate)
 		case "all":
 			err = rate(&cfg.BusParityRate, &cfg.BusTimeoutRate,
 				&cfg.MemSoftErrorRate, &cfg.DMANXMRate,

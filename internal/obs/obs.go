@@ -136,6 +136,42 @@ const (
 	// cache reported an uncorrectable fault; its thread returned to the
 	// ready queue for the surviving processors. Unit is the processor.
 	KindCPUOffline
+	// KindNetTx: a station seized the shared Ethernet segment and began
+	// serializing a frame. Unit is the station, A the frame length in
+	// longwords, B the destination station (as a uint32; 0xffffffff is
+	// broadcast).
+	KindNetTx
+	// KindNetRx: a frame was delivered to a station. Unit is the
+	// receiving station, A the frame length in longwords, B the source
+	// station.
+	KindNetRx
+	// KindNetCollision: a station's transmission attempt collided and it
+	// is backing off. Unit is the station, A the attempt number, B the
+	// backoff in cycles.
+	KindNetCollision
+	// KindNetDrop: a frame was lost. Unit is the station, B the reason
+	// (0: injected receive-side drop, 1: no handler at the destination,
+	// 2: transmit abandoned after the collision attempt budget).
+	KindNetDrop
+	// KindRPCCall: the client runtime issued a call onto the wire. Unit
+	// is the station, A the call ID, B the payload bytes.
+	KindRPCCall
+	// KindRPCServe: the server runtime dispatched a complete call to a
+	// worker thread. Unit is the station, A the call ID, B the source
+	// station.
+	KindRPCServe
+	// KindRPCReply: the client runtime matched a reply to its call. Unit
+	// is the station, A the call ID, B the call latency in cycles.
+	KindRPCReply
+	// KindRPCRetransmit: the client runtime retransmitted an unanswered
+	// call. Unit is the station, A the call ID, B the attempt number.
+	KindRPCRetransmit
+	// KindRPCDuplicate: a duplicate was detected and absorbed. Unit is
+	// the station, A the call ID, B the case (0: duplicate call while the
+	// original is still in service, 1: duplicate call after completion —
+	// the cached reply is re-sent, 2: duplicate or stale reply at the
+	// client).
+	KindRPCDuplicate
 
 	numKinds
 )
@@ -169,6 +205,15 @@ var kindNames = [numKinds]string{
 	KindFaultRetry:          "fault.retry",
 	KindMachineCheck:        "fault.machine_check",
 	KindCPUOffline:          "sched.offline",
+	KindNetTx:               "net.tx",
+	KindNetRx:               "net.rx",
+	KindNetCollision:        "net.collision",
+	KindNetDrop:             "net.drop",
+	KindRPCCall:             "rpc.call",
+	KindRPCServe:            "rpc.serve",
+	KindRPCReply:            "rpc.reply",
+	KindRPCRetransmit:       "rpc.retransmit",
+	KindRPCDuplicate:        "rpc.dup",
 }
 
 // String returns the kind's dotted name.

@@ -242,6 +242,19 @@ type etherOp struct {
 	onDone   func(Packet)
 }
 
+// Medium is a shared wire the DEQNA can attach to (internal/net's
+// Segment). When a medium is attached, the controller's private wire
+// model is bypassed: transmitted frames are handed to the medium after
+// the DMA fetch, and the medium owns serialization, busy deferral, and
+// collision backoff; received frames (which the medium has already
+// carried) are DMA'd into memory immediately.
+type Medium interface {
+	// Transmit serializes pkt from the given station onto the shared
+	// wire. done runs when the frame has left the wire (ok) or the
+	// transmission was abandoned after repeated collisions (!ok).
+	Transmit(station int, pkt Packet, done func(ok bool))
+}
+
 // Ethernet is the DEQNA: a DMA Ethernet controller. Transmitted packets
 // are handed to the wire callback; received packets are DMA'd into host
 // memory.
@@ -253,6 +266,9 @@ type Ethernet struct {
 
 	// OnWire receives every transmitted packet (the network).
 	OnWire func(Packet)
+
+	medium  Medium
+	station int
 
 	queue    []etherOp
 	cur      *etherOp
@@ -269,6 +285,13 @@ func NewEthernet(clock *sim.Clock, bus *mbus.Bus, engine *Engine, cfg EthernetCo
 
 // Stats returns a snapshot of the controller counters.
 func (e *Ethernet) Stats() EthernetStats { return e.stats }
+
+// AttachMedium connects the controller to a shared wire as the given
+// station. Attaching a nil medium restores the private wire model.
+func (e *Ethernet) AttachMedium(m Medium, station int) {
+	e.medium = m
+	e.station = station
+}
 
 // Busy reports whether operations are queued or in progress.
 func (e *Ethernet) Busy() bool { return e.cur != nil || len(e.queue) > 0 }
@@ -328,9 +351,28 @@ func (e *Ethernet) Step() {
 					return
 				}
 				op.payload = buf
+				if e.medium != nil {
+					e.medium.Transmit(e.station, Packet{Words: buf}, func(ok bool) {
+						if !ok {
+							// Abandoned after repeated collisions; software
+							// sees the transmit error and may retry.
+							e.stats.Faults.Inc()
+							e.complete(&op, Packet{})
+							return
+						}
+						e.stats.WordsOnWire.Add(uint64(op.words))
+						e.finishTransmit(&op)
+					})
+					return
+				}
 				e.beginWire(op.words)
 			},
 		})
+		return
+	}
+	if e.medium != nil {
+		// The shared wire already carried the frame; DMA straight in.
+		e.submitReceiveDMA(&op)
 		return
 	}
 	// Receive: wire first, then DMA into memory.
@@ -346,14 +388,25 @@ func (e *Ethernet) beginWire(words int) {
 func (e *Ethernet) finishWire() {
 	op := e.cur
 	if op.transmit {
-		e.stats.Transmitted.Inc()
-		pkt := Packet{Words: op.payload}
-		e.complete(op, pkt)
-		if e.OnWire != nil {
-			e.OnWire(pkt)
-		}
+		e.finishTransmit(op)
 		return
 	}
+	e.submitReceiveDMA(op)
+}
+
+// finishTransmit completes a transmit whose frame has left the wire.
+func (e *Ethernet) finishTransmit(op *etherOp) {
+	e.stats.Transmitted.Inc()
+	pkt := Packet{Words: op.payload}
+	e.complete(op, pkt)
+	if e.OnWire != nil {
+		e.OnWire(pkt)
+	}
+}
+
+// submitReceiveDMA moves a received frame from the controller into host
+// memory.
+func (e *Ethernet) submitReceiveDMA(op *etherOp) {
 	e.engine.Submit(&Transfer{
 		Device: "deqna", ToMemory: true,
 		QAddr: op.qaddr, Words: op.words, Data: op.payload,
