@@ -8,7 +8,9 @@
 //	fireflysim -cpus 4 -variant cvax -workload exerciser
 //	fireflysim -cpus 4 -workload make
 //	fireflysim -cpus 2 -seconds 0.001 -trace out.json -trace-format chrome
+//	fireflysim -cpus 4 -arb rr -sched steal -workload exerciser
 //	fireflysim -experiment table1sim -workers 4
+//	fireflysim -experiment policysweep -arb fixed,fcfs -sched oldest
 //	fireflysim -cpus 5 -check -seconds 0.005
 //	fireflysim -cpus 4 -faults "all=1e-4" -check -seconds 0.005
 //	fireflysim -replay repro.replay
@@ -28,6 +30,7 @@ import (
 	"firefly/internal/experiments"
 	"firefly/internal/fault"
 	"firefly/internal/machine"
+	"firefly/internal/mbus"
 	"firefly/internal/obs"
 	"firefly/internal/topaz"
 	"firefly/internal/trace"
@@ -99,6 +102,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	tracePath := flag.String("trace", "", "write an event trace to this file")
 	traceFormat := flag.String("trace-format", "jsonl", "trace format: jsonl or chrome")
+	arb := flag.String("arb", "fixed", "MBus arbitration policy: fixed, rr, fcfs (with -experiment policysweep: comma-separated axis restriction)")
+	sched := flag.String("sched", "", "kernel dispatch policy: averse, oldest, steal (default: workload's own; with -experiment policysweep: comma-separated axis restriction)")
 	experiment := flag.String("experiment", "", "run a named sweep experiment instead of a single machine (see cmd/tables -list)")
 	workers := flag.Int("workers", 0, "sweep worker goroutines for -experiment (0 = one per CPU; output is identical for any value)")
 	checkFlag := flag.Bool("check", false, "run the coherence checker alongside the workload (oracle + invariant walks)")
@@ -132,6 +137,21 @@ func main() {
 
 	if *experiment != "" {
 		experiments.SetWorkers(*workers)
+		// Only a flag the user actually set restricts a sweep axis; the
+		// -arb default would otherwise silently collapse policysweep.
+		flagSet := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { flagSet[f.Name] = true })
+		var arbAxis, schedAxis []string
+		if flagSet["arb"] {
+			arbAxis = strings.Split(*arb, ",")
+		}
+		if flagSet["sched"] {
+			schedAxis = strings.Split(*sched, ",")
+		}
+		if err := experiments.SetPolicyAxes(arbAxis, schedAxis); err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
 		r := experiments.ByID(*experiment)
 		if r == nil {
 			fmt.Fprintf(os.Stderr, "fireflysim: unknown experiment %q (see cmd/tables -list)\n", *experiment)
@@ -158,6 +178,22 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Protocol = proto
+	arbiter, ok := mbus.NewArbiterByName(*arb)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fireflysim: unknown arbitration policy %q (known: %s)\n",
+			*arb, strings.Join(mbus.ArbiterNames(), ", "))
+		os.Exit(2)
+	}
+	cfg.Arbiter = arbiter
+	var dispatch topaz.DispatchPolicy
+	if *sched != "" {
+		dispatch, ok = topaz.PolicyByName(*sched)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fireflysim: unknown dispatch policy %q (known: %s)\n",
+				*sched, strings.Join(topaz.PolicyNames(), ", "))
+			os.Exit(2)
+		}
+	}
 	cfg.Seed = *seed
 	cfg.LineWords = *lineWords
 	if *cacheLines > 0 {
@@ -224,7 +260,7 @@ func main() {
 		m.RunSeconds(*seconds)
 
 	case "exerciser":
-		k := topaz.NewKernel(m, topaz.Config{Quantum: 1500, Seed: *seed})
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 1500, Dispatch: dispatch, Seed: *seed})
 		ex := workload.NewExerciser(k, workload.ExerciserConfig{
 			Threads: 16, Rounds: 1_000_000, SharedFraction: 0.35, Seed: *seed,
 		})
@@ -233,19 +269,19 @@ func main() {
 		ex.Step(cyc(*seconds))
 
 	case "make":
-		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, AvoidMigration: true, Seed: *seed})
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, AvoidMigration: true, Dispatch: dispatch, Seed: *seed})
 		res := workload.RunMake(k, workload.StandardBuild(8, 40_000), cyc(*seconds)*100)
 		fmt.Printf("parallel make: finished=%v in %.2f Mcycles (ok=%v)\n",
 			len(res.Finished), float64(res.Cycles)/1e6, res.OK)
 
 	case "pipeline":
-		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Seed: *seed})
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Dispatch: dispatch, Seed: *seed})
 		res := workload.RunPipeline(k, workload.PipelineConfig{}, cyc(*seconds)*100)
 		fmt.Printf("pipeline: %d items in %.2f Mcycles (ok=%v)\n",
 			len(res.Output), float64(res.Cycles)/1e6, res.OK)
 
 	case "compiler":
-		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Seed: *seed})
+		k := topaz.NewKernel(m, topaz.Config{Quantum: 2000, Dispatch: dispatch, Seed: *seed})
 		res := workload.RunCompiler(k, workload.CompilerConfig{}, cyc(*seconds)*100)
 		fmt.Printf("parallel compile: %d procedures in %.2f Mcycles (ok=%v)\n",
 			len(res.Compiled), float64(res.Cycles)/1e6, res.OK)

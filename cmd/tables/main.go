@@ -12,19 +12,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"firefly/internal/experiments"
 )
+
+// splitAxis turns a comma-separated flag value into an axis restriction;
+// empty means unrestricted.
+func splitAxis(v string) []string {
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, ",")
+}
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
 	full := flag.Bool("full", false, "use report-quality run lengths")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; output is identical for any value)")
+	arb := flag.String("arb", "", "restrict policysweep's arbitration axis (comma-separated: fixed, rr, fcfs)")
+	sched := flag.String("sched", "", "restrict policysweep's dispatch axis (comma-separated: averse, oldest, steal)")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
+	if err := experiments.SetPolicyAxes(splitAxis(*arb), splitAxis(*sched)); err != nil {
+		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, r := range experiments.All() {

@@ -84,6 +84,7 @@ func All() []Runner {
 		{"syscall", SyscallEmulation, "Ultrix system-call emulation cost"},
 		{"linesize", LineSizeAblation, "cache line size ablation (analytic + simulated)"},
 		{"onchipdata", OnChipDataAblation, "CVAX on-chip data-cache ablation"},
+		{"policysweep", PolicySweep, "bus arbitration x dispatch policy fairness sweep"},
 		{"coherencecheck", CoherenceCheck, "randomized coherence stress under the checking oracle"},
 		{"faultsweep", FaultSweep, "fault-injection sweep with recovery, oracle attached"},
 	}

@@ -73,6 +73,7 @@ func TestSweepDeterministic(t *testing.T) {
 		{"MigrationAblation", MigrationAblation},
 		{"OnChipDataAblation", OnChipDataAblation},
 		{"QBusLoad", QBusLoad},
+		{"PolicySweep", PolicySweep},
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 4 {

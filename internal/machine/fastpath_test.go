@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"firefly/internal/mbus"
 	"firefly/internal/trace"
 )
 
@@ -95,21 +96,60 @@ func TestRunSecondsRounds(t *testing.T) {
 	}
 }
 
-// TestSyntheticSourcesShimEquivalence checks the deprecated positional
-// AttachSyntheticSources produces a machine indistinguishable from
-// AttachSyntheticLoad with the same parameters.
-func TestSyntheticSourcesShimEquivalence(t *testing.T) {
-	const miss, share, sharedRead = 0.2, 0.1, 0.05
-	mNew := New(MicroVAXConfig(3))
-	mNew.AttachSyntheticLoad(trace.SyntheticLoad{
-		MissRate: miss, ShareFraction: share, SharedReadFraction: sharedRead,
-	})
-	mOld := New(MicroVAXConfig(3))
-	mOld.AttachSyntheticSources(miss, share, sharedRead)
+// TestStepZeroAllocsAnyArbiter extends the hot-loop allocation contract
+// to the policy layer: the bus devirtualizes fixed priority, but the
+// interface-dispatched arbiters (rr, fcfs) must not allocate per cycle
+// either — fcfs in particular must reuse its queue storage once grown.
+func TestStepZeroAllocsAnyArbiter(t *testing.T) {
+	for _, name := range mbus.ArbiterNames() {
+		t.Run(name, func(t *testing.T) {
+			arb, ok := mbus.NewArbiterByName(name)
+			if !ok {
+				t.Fatalf("unknown arbiter %q", name)
+			}
+			cfg := MicroVAXConfig(3)
+			cfg.Arbiter = arb
+			m := New(cfg)
+			m.AttachSyntheticLoad(stdLoad)
+			m.Run(10_000) // warm caches, internal buffers, and the fcfs queue
+			avg := testing.AllocsPerRun(2000, func() { m.Step() })
+			if avg != 0 {
+				t.Fatalf("machine.Step with %s arbiter allocates %.2f times per cycle, want 0", name, avg)
+			}
+		})
+	}
+}
 
-	mNew.Run(50_000)
-	mOld.Run(50_000)
-	if rn, ro := fmt.Sprint(mNew.Report()), fmt.Sprint(mOld.Report()); rn != ro {
-		t.Fatalf("shim diverged from AttachSyntheticLoad\n--- load ---\n%s\n--- shim ---\n%s", rn, ro)
+// TestLegacyArbitrationEquivalence checks the deprecated Config.Arbitration
+// enum builds a machine indistinguishable from passing the equivalent
+// Arbiter instance explicitly, for both legacy disciplines.
+func TestLegacyArbitrationEquivalence(t *testing.T) {
+	load := trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05}
+	cases := []struct {
+		name string
+		enum mbus.Arbitration
+		arb  mbus.Arbiter
+	}{
+		{"fixed", mbus.FixedPriority, mbus.NewFixedPriority()},
+		{"rr", mbus.RoundRobin, mbus.NewRoundRobin()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfgEnum := MicroVAXConfig(3)
+			cfgEnum.Arbitration = tc.enum
+			mEnum := New(cfgEnum)
+			mEnum.AttachSyntheticLoad(load)
+
+			cfgArb := MicroVAXConfig(3)
+			cfgArb.Arbiter = tc.arb
+			mArb := New(cfgArb)
+			mArb.AttachSyntheticLoad(load)
+
+			mEnum.Run(50_000)
+			mArb.Run(50_000)
+			if re, ra := fmt.Sprint(mEnum.Report()), fmt.Sprint(mArb.Report()); re != ra {
+				t.Fatalf("legacy enum diverged from explicit arbiter\n--- enum ---\n%s\n--- arbiter ---\n%s", re, ra)
+			}
+		})
 	}
 }

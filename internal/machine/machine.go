@@ -43,7 +43,17 @@ type Config struct {
 	// 4 x 4 MB for the MicroVAX, 4 x 32 MB for the CVAX).
 	MemoryModules int
 	ModuleBytes   uint32
+	// Arbiter selects the bus arbitration policy (nil: derived from the
+	// deprecated Arbitration enum field, whose zero value is the
+	// hardware's fixed priority). The machine adopts the instance —
+	// Reset is called at construction — so stateful arbiters must not be
+	// shared between machines; sweep points each construct their own.
+	Arbiter mbus.Arbiter
 	// Arbitration selects the bus policy (hardware: FixedPriority).
+	//
+	// Deprecated: set Arbiter (mbus.NewFixedPriority / NewRoundRobin /
+	// NewFCFSQueue); the enum survives one release as a selector and is
+	// ignored when Arbiter is non-nil.
 	Arbitration mbus.Arbitration
 	// Seed drives every random stream in the machine.
 	Seed uint64
@@ -159,7 +169,11 @@ func New(cfg Config) *Machine {
 		panic(err)
 	}
 	m := &Machine{cfg: cfg, clock: &sim.Clock{}}
-	m.bus = mbus.New(m.clock, cfg.Arbitration)
+	arb := cfg.Arbiter
+	if arb == nil {
+		arb = cfg.Arbitration.NewArbiter()
+	}
+	m.bus = mbus.NewWithArbiter(m.clock, arb)
 	m.mem = memory.NewSystem(cfg.MemoryModules, cfg.ModuleBytes)
 	m.bus.AttachMemory(m.mem)
 	for i := 0; i < cfg.Processors; i++ {
@@ -241,6 +255,19 @@ func (m *Machine) buildRegistry() {
 	r.Register("bus.shared_hits", func() uint64 { return bus.Stats().SharedHits })
 	r.Register("bus.wait_cycles", func() uint64 { return bus.Stats().WaitCycles })
 	r.Register("bus.ops.total", func() uint64 { return bus.Stats().TotalOps() })
+	// Per-port fairness counters for the processor ports (DMA engines
+	// attach after construction and are not registered; read Bus.Stats
+	// directly for those). These expose arbitration fairness through
+	// Report without tracing enabled.
+	for i := 0; i < m.cfg.Processors; i++ {
+		i := i
+		r.Register(fmt.Sprintf("bus.port%d.wait_cycles", i), func() uint64 {
+			return bus.Stats().WaitPerPort[i]
+		})
+		r.Register(fmt.Sprintf("bus.port%d.ops", i), func() uint64 {
+			return bus.Stats().PerPort[i]
+		})
+	}
 	for _, k := range opKinds {
 		k := k
 		r.Register("bus.ops."+strings.ToLower(k.String()), func() uint64 {
@@ -359,18 +386,6 @@ func (m *Machine) AttachSyntheticLoad(load trace.SyntheticLoad) {
 			PrivateBytes:       privateBytes,
 			Seed:               m.cfg.Seed*31 + uint64(i),
 		}, shared, c)
-	})
-}
-
-// AttachSyntheticSources is the old positional form of AttachSyntheticLoad.
-//
-// Deprecated: use AttachSyntheticLoad, whose named fields make the call
-// sites self-describing.
-func (m *Machine) AttachSyntheticSources(missRate, shareFraction, sharedReadFraction float64) {
-	m.AttachSyntheticLoad(trace.SyntheticLoad{
-		MissRate:           missRate,
-		ShareFraction:      shareFraction,
-		SharedReadFraction: sharedReadFraction,
 	})
 }
 

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"firefly/internal/mbus"
@@ -34,6 +35,23 @@ type Report struct {
 	// MBusTotal is the total MBus operation rate (ops/sec).
 	MBusTotal float64
 	PerCPU    []CPUReport
+	// PortWaits[i] is processor port i's arbitration wait cycles
+	// (bus.portN.wait_cycles): cycles a requesting port was passed over
+	// while another port won. The spread across ports is the arbitration
+	// policy's fairness signature.
+	PortWaits []uint64
+	// PortOps[i] is processor port i's completed bus operations
+	// (bus.portN.ops).
+	PortOps []uint64
+	// CPUService[i] is the thread instructions processor i executed
+	// under a Topaz kernel (kernel.cpuN.service); nil when no kernel is
+	// installed. Unlike the bus and CPU counters it is not cleared by
+	// ResetStats — it accumulates over the kernel's lifetime.
+	CPUService []uint64
+	// ServiceFairness is the max/min ratio of CPUService across
+	// processors: 1.0 is perfectly fair, +Inf marks a starved processor,
+	// 0 means no kernel (or no service at all) so fairness is undefined.
+	ServiceFairness float64
 }
 
 // Report computes rates over the interval since the last ResetStats (or
@@ -48,6 +66,16 @@ func (m *Machine) Report() Report {
 		Processors: len(m.cpus),
 		Seconds:    secs,
 		BusLoad:    stats.Ratio(reg.MustValue("bus.busy_cycles"), cycles),
+	}
+	for i := range m.cpus {
+		r.PortWaits = append(r.PortWaits, reg.MustValue(fmt.Sprintf("bus.port%d.wait_cycles", i)))
+		r.PortOps = append(r.PortOps, reg.MustValue(fmt.Sprintf("bus.port%d.ops", i)))
+	}
+	if _, ok := reg.Value("kernel.cpu0.service"); ok {
+		for i := range m.cpus {
+			r.CPUService = append(r.CPUService, reg.MustValue(fmt.Sprintf("kernel.cpu%d.service", i)))
+		}
+		r.ServiceFairness = fairness(r.CPUService)
 	}
 	if secs == 0 {
 		return r
@@ -74,6 +102,31 @@ func (m *Machine) Report() Report {
 		r.PerCPU = append(r.PerCPU, cr)
 	}
 	return r
+}
+
+// fairness returns the max/min ratio of the values: 1 is perfectly
+// fair, +Inf marks a starved entry (some service, but a zero), 0 means
+// no service anywhere (undefined).
+func fairness(vals []uint64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	if lo == 0 {
+		return math.Inf(1)
+	}
+	return float64(hi) / float64(lo)
 }
 
 // MeanCPU averages the per-CPU rows.
@@ -133,6 +186,13 @@ func (r Report) String() string {
 	fmt.Fprintf(&b, "MBus per CPU (K refs/sec): reads %.0f, writes MShared %.0f, writes clean %.0f, victims %.0f\n",
 		mean.MBusReads/1000, mean.MBusWritesShared/1000, mean.MBusWritesClean/1000, mean.MBusVictims/1000)
 	fmt.Fprintf(&b, "MBus total: %.0f K ops/sec\n", r.MBusTotal/1000)
+	if len(r.PortWaits) > 0 {
+		fmt.Fprintf(&b, "Arbitration wait cycles by port: %v\n", r.PortWaits)
+	}
+	if r.CPUService != nil {
+		fmt.Fprintf(&b, "Kernel service by CPU: %v (fairness max/min %.2f)\n",
+			r.CPUService, r.ServiceFairness)
+	}
 	return b.String()
 }
 

@@ -250,14 +250,23 @@ type InterruptSink interface {
 }
 
 // Arbitration selects the bus arbitration policy.
+//
+// Deprecated: the closed enum is superseded by the Arbiter interface
+// (arbiter.go); the constants survive one release as constructors
+// (Arbitration.NewArbiter) so existing New call sites keep compiling.
+// New code passes an Arbiter to NewWithArbiter or machine.Config.Arbiter.
 type Arbitration uint8
 
 const (
 	// FixedPriority grants the requester with the lowest port number, as
 	// in the hardware ("the caches have fixed priority for access to the
 	// MBus", §5.2).
+	//
+	// Deprecated: use NewFixedPriority.
 	FixedPriority Arbitration = iota
 	// RoundRobin rotates priority; provided for fairness ablations.
+	//
+	// Deprecated: use NewRoundRobin.
 	RoundRobin
 )
 
@@ -275,6 +284,12 @@ type Stats struct {
 	SharedHits uint64             // ops during which MShared was asserted
 	WaitCycles uint64             // requester-cycles spent waiting for grant
 	PerPort    []uint64           // completed operations per initiating port
+	// WaitPerPort splits WaitCycles by the waiting port: the per-port
+	// arbitration losses that the fairness sweeps turn into wait-cycle
+	// tails. Like WaitCycles it counts arbitration-conflict cycles (a
+	// requester passed over while another port was granted), not cycles
+	// spent behind a bus already busy.
+	WaitPerPort []uint64
 	// FaultedOps counts operations aborted by an injected parity error or
 	// timeout; they occupy the bus but are not counted in Ops.
 	FaultedOps uint64
@@ -304,12 +319,17 @@ func (s Stats) Load() float64 {
 // Bus is the MBus. It is stepped once per 100 ns cycle by the machine's
 // run loop; it is not safe for concurrent use (the hardware wasn't either).
 type Bus struct {
-	clock  *sim.Clock
-	arb    Arbitration
-	ports  []port
-	mem    Memory
-	eccMem ECCMemory // non-nil when mem implements ECCMemory
-	inj    FaultInjector
+	clock *sim.Clock
+	arb   Arbiter
+	// arbFixed devirtualizes the default policy: when the arbiter is the
+	// stateless fixed-priority singleton, arbitration grants the first
+	// requester inline instead of through the interface, keeping the hot
+	// loop at its pre-policy-layer cost.
+	arbFixed bool
+	ports    []port
+	mem      Memory
+	eccMem   ECCMemory // non-nil when mem implements ECCMemory
+	inj      FaultInjector
 
 	// in-flight operation
 	active   bool
@@ -326,17 +346,37 @@ type Bus struct {
 	fault    FaultKind
 	holdLeft uint64
 
-	rrNext int // round-robin scan start
+	lastGrant int    // most recently granted port (-1 before any grant)
+	reqs      []bool // reused request buffer for arbitration
 
 	stats Stats
 
 	tracer *obs.Tracer
 }
 
-// New returns an empty bus on the given clock.
+// New returns an empty bus with the enum-selected arbitration policy.
+//
+// Deprecated: use NewWithArbiter, which accepts any Arbiter. New remains
+// for one release so pre-policy-layer call sites keep compiling.
 func New(clock *sim.Clock, arb Arbitration) *Bus {
-	return &Bus{clock: clock, arb: arb}
+	return NewWithArbiter(clock, arb.NewArbiter())
 }
+
+// NewWithArbiter returns an empty bus on the given clock with the given
+// arbitration policy. The bus adopts the arbiter — Reset is called here,
+// and stateful arbiters must not be shared between buses.
+func NewWithArbiter(clock *sim.Clock, arb Arbiter) *Bus {
+	if arb == nil {
+		arb = NewFixedPriority()
+	}
+	arb.Reset()
+	b := &Bus{clock: clock, arb: arb, lastGrant: -1}
+	_, b.arbFixed = arb.(fixedPriority)
+	return b
+}
+
+// Arbiter returns the bus's arbitration policy.
+func (b *Bus) Arbiter() Arbiter { return b.arb }
 
 // Clock returns the bus clock.
 func (b *Bus) Clock() *sim.Clock { return b.clock }
@@ -359,6 +399,7 @@ func (b *Bus) SetFaultInjector(inj FaultInjector) { b.inj = inj }
 func (b *Bus) Attach(in Initiator, sn Snooper, sink InterruptSink) int {
 	b.ports = append(b.ports, port{initiator: in, snooper: sn, sink: sink})
 	b.stats.PerPort = append(b.stats.PerPort, 0)
+	b.stats.WaitPerPort = append(b.stats.WaitPerPort, 0)
 	return len(b.ports) - 1
 }
 
@@ -369,16 +410,20 @@ func (b *Bus) NumPorts() int { return len(b.ports) }
 func (b *Bus) Stats() Stats {
 	s := b.stats
 	s.PerPort = append([]uint64(nil), b.stats.PerPort...)
+	s.WaitPerPort = append([]uint64(nil), b.stats.WaitPerPort...)
 	return s
 }
 
 // ResetStats clears the accumulated statistics (the clock is unaffected).
 func (b *Bus) ResetStats() {
-	per := b.stats.PerPort
+	per, wait := b.stats.PerPort, b.stats.WaitPerPort
 	for i := range per {
 		per[i] = 0
 	}
-	b.stats = Stats{PerPort: per}
+	for i := range wait {
+		wait[i] = 0
+	}
+	b.stats = Stats{PerPort: per, WaitPerPort: wait}
 }
 
 // SetTracer installs (or, with nil, removes) the observability tracer.
@@ -504,31 +549,64 @@ func (b *Bus) arbitrate() {
 	if n == 0 {
 		return
 	}
-	start := 0
-	if b.arb == RoundRobin {
-		start = b.rrNext
+	// Gather the request lines into the reused buffer. BusRequest is
+	// side-effect-free by contract (agents keep returning the same
+	// request until granted), so polling here and re-reading the winner
+	// below observes one consistent request per port.
+	if cap(b.reqs) < n {
+		b.reqs = make([]bool, n)
 	}
-	granted := -1
+	b.reqs = b.reqs[:n]
+	nreq, first := 0, -1
 	for i := 0; i < n; i++ {
-		p := (start + i) % n
-		in := b.ports[p].initiator
-		if in == nil {
-			continue
+		ok := false
+		if in := b.ports[i].initiator; in != nil {
+			_, ok = in.BusRequest()
 		}
-		req, ok := in.BusRequest()
-		if !ok {
-			continue
+		b.reqs[i] = ok
+		if ok {
+			nreq++
+			if first < 0 {
+				first = i
+			}
 		}
-		if granted < 0 {
-			granted = p
-			b.begin(p, req)
-		} else {
+	}
+	if nreq == 0 {
+		return
+	}
+	granted := first
+	if !b.arbFixed {
+		granted = b.arb.Grant(b.reqs, b.lastGrant)
+		if granted < 0 || granted >= n || !b.reqs[granted] {
+			panic(fmt.Sprintf("mbus: arbiter %q granted port %d, which is not requesting", b.arb.Name(), granted))
+		}
+	}
+	if nreq > 1 {
+		var mask uint64
+		for i, r := range b.reqs {
+			if !r || i == granted {
+				continue
+			}
 			b.stats.WaitCycles++
+			b.stats.WaitPerPort[i]++
+			if i < 64 {
+				mask |= 1 << uint(i)
+			}
+		}
+		if b.tracer != nil {
+			b.tracer.Emit(obs.Event{
+				Cycle: uint64(b.clock.Now()),
+				Kind:  obs.KindBusArb,
+				Unit:  int32(granted),
+				A:     uint64(nreq),
+				B:     mask,
+				Label: b.arb.Name(),
+			})
 		}
 	}
-	if granted >= 0 && b.arb == RoundRobin {
-		b.rrNext = (granted + 1) % n
-	}
+	req, _ := b.ports[granted].initiator.BusRequest()
+	b.lastGrant = granted
+	b.begin(granted, req)
 }
 
 func (b *Bus) begin(port int, req Request) {

@@ -172,6 +172,18 @@ const (
 	// the cached reply is re-sent, 2: duplicate or stale reply at the
 	// client).
 	KindRPCDuplicate
+	// KindBusArb: a contended arbitration cycle resolved — at least two
+	// ports requested and the arbitration policy picked one. Unit is the
+	// granted port, A the number of requesters, B a bitmask of the ports
+	// left waiting (low 64 ports), Label the arbiter name. Uncontended
+	// grants emit only KindBusGrant; this event is the policy decision.
+	KindBusArb
+	// KindSchedSteal: the work-stealing dispatch policy gave an idle
+	// processor a thread with affinity for the busiest peer. Unit is the
+	// stealing processor, A the thread id, B the victim processor the
+	// thread last ran on, Label the thread name. A KindSchedMigrate
+	// follows from the dispatch itself.
+	KindSchedSteal
 
 	numKinds
 )
@@ -214,6 +226,8 @@ var kindNames = [numKinds]string{
 	KindRPCReply:            "rpc.reply",
 	KindRPCRetransmit:       "rpc.retransmit",
 	KindRPCDuplicate:        "rpc.dup",
+	KindBusArb:              "bus.arb",
+	KindSchedSteal:          "sched.steal",
 }
 
 // String returns the kind's dotted name.

@@ -16,10 +16,19 @@ import (
 type Config struct {
 	// Quantum is the preemption interval in instructions (default 2000).
 	Quantum uint64
+	// Dispatch selects the ready-queue discipline (nil: derived from the
+	// deprecated AvoidMigration flag — MigrationAverse when true,
+	// OldestFirst when false). The kernel adopts the policy instance;
+	// stateful policies must not be shared between kernels.
+	Dispatch DispatchPolicy
 	// AvoidMigration enables the Topaz scheduler's affinity preference.
 	// When false, the scheduler always dispatches the oldest ready thread
 	// regardless of where it last ran — the migration-heavy policy whose
 	// cost §5.1 explains.
+	//
+	// Deprecated: set Dispatch (MigrationAverse{} / OldestFirst{}); the
+	// flag survives one release as a selector and is ignored when
+	// Dispatch is non-nil.
 	AvoidMigration bool
 	// SwitchCost is the kernel instruction overhead of a context switch
 	// (default 50).
@@ -49,6 +58,13 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Dispatch == nil {
+		if c.AvoidMigration {
+			c.Dispatch = MigrationAverse{}
+		} else {
+			c.Dispatch = OldestFirst{}
+		}
+	}
 	return c
 }
 
@@ -76,6 +92,10 @@ type procState struct {
 	switchLeft  uint64
 	quantumUsed uint64
 	offline     bool
+	// service counts thread instructions this processor executed — the
+	// per-CPU service the fairness sweeps ratio (kernel.cpuN.service).
+	// Idle instructions and context-switch overhead are not service.
+	service uint64
 }
 
 // procSource is the reference source installed on each processor: forced
@@ -169,8 +189,20 @@ func NewKernel(m *machine.Machine, cfg Config) *Kernel {
 	reg.Register("kernel.exits", func() uint64 { return k.stats.Exits })
 	reg.Register("kernel.idle_instr", func() uint64 { return k.stats.IdleInstr })
 	reg.Register("kernel.offlines", func() uint64 { return k.stats.Offlines })
+	for i := range k.procs {
+		ps := k.procs[i]
+		reg.Register(fmt.Sprintf("kernel.cpu%d.service", i), func() uint64 { return ps.service })
+	}
 	return k
 }
+
+// Dispatcher returns the kernel's ready-queue policy.
+func (k *Kernel) Dispatcher() DispatchPolicy { return k.cfg.Dispatch }
+
+// CPUService returns the thread instructions processor proc has executed
+// — its accumulated service. The max/min ratio of these across
+// processors is the fairness metric the policy sweeps report.
+func (k *Kernel) CPUService(proc int) uint64 { return k.procs[proc].service }
 
 // Machine returns the underlying machine.
 func (k *Kernel) Machine() *machine.Machine { return k.m }
@@ -368,6 +400,7 @@ func (k *Kernel) onInstr(proc int) {
 
 	t.Instructions++
 	ps.quantumUsed++
+	ps.service++
 
 	if t.instrLeft > 0 {
 		t.instrLeft--
@@ -408,35 +441,23 @@ func (k *Kernel) maybePreempt(proc int) {
 	k.dispatch(proc)
 }
 
-// dispatch selects a ready thread for the processor. With AvoidMigration
-// the scheduler prefers a thread that last ran here (or has never run);
-// otherwise it takes the oldest ready thread.
+// dispatch asks the configured DispatchPolicy to select a ready thread
+// for the processor and installs it.
 func (k *Kernel) dispatch(proc int) {
 	if len(k.ready) == 0 {
 		return
 	}
-	pick := 0
-	if k.cfg.AvoidMigration {
-		pick = -1
-		for i, t := range k.ready {
-			if t.lastProc == proc || t.lastProc == -1 {
-				pick = i
-				break
-			}
-		}
-		if pick == -1 {
-			// Every ready thread has affinity elsewhere; migrate the
-			// oldest rather than idle ("some effort", not heroics).
-			pick = 0
-		}
+	pick := k.cfg.Dispatch.Pick(k, proc, k.ready)
+	if pick < 0 || pick >= len(k.ready) {
+		pick = 0
 	}
 	t := k.ready[pick]
 	k.ready = append(k.ready[:pick], k.ready[pick+1:]...)
 
 	tr := k.m.Tracer()
-	if tr != nil && k.cfg.AvoidMigration && pick > 0 {
-		// The scheduler passed over older ready threads to keep this one
-		// on the processor whose cache still holds its working set.
+	if tr != nil && pick > 0 && (t.lastProc == proc || t.lastProc == -1) {
+		// The policy passed over older ready threads to keep this one on
+		// the processor whose cache still holds its working set.
 		tr.Emit(obs.Event{
 			Cycle: uint64(k.m.Clock().Now()),
 			Kind:  obs.KindSchedMigrateAvoided,
