@@ -111,6 +111,7 @@ func main() {
 	replay := flag.String("replay", "", "re-execute a coherence-checker replay file and report the outcome")
 	clusterN := flag.Int("cluster", 0, "run an N-machine cluster on a shared Ethernet instead of one machine (node 0 serves, the rest call)")
 	callers := flag.Int("callers", 3, "caller threads per client machine in -cluster mode")
+	travel := flag.Uint64("travel", 0, "time-travel: after the run, restore the post-warmup snapshot, replay to this cycle, and print the report there (synthetic workload only; 0 = off)")
 	flag.Parse()
 
 	if *replay != "" {
@@ -249,6 +250,7 @@ func main() {
 
 	cyc := func(s float64) uint64 { return uint64(s * 1e7) }
 
+	var travelSnap *machine.Snapshot
 	switch *wl {
 	case "synthetic":
 		m.AttachSyntheticLoad(trace.SyntheticLoad{
@@ -257,6 +259,22 @@ func main() {
 			SharedReadFraction: *share / 2,
 		})
 		m.Warmup(cyc(*warmup))
+		if *travel > 0 {
+			if *checkFlag {
+				fmt.Fprintln(os.Stderr, "fireflysim: -travel is incompatible with -check (the oracle's shadow state cannot rewind)")
+				os.Exit(2)
+			}
+			var err error
+			if travelSnap, err = m.Snapshot(); err != nil {
+				fmt.Fprintf(os.Stderr, "fireflysim: -travel: %v\n", err)
+				os.Exit(2)
+			}
+			if *travel < uint64(travelSnap.Cycle()) {
+				fmt.Fprintf(os.Stderr, "fireflysim: -travel %d is before the post-warmup snapshot at cycle %d\n",
+					*travel, uint64(travelSnap.Cycle()))
+				os.Exit(2)
+			}
+		}
 		m.RunSeconds(*seconds)
 
 	case "exerciser":
@@ -290,8 +308,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fireflysim: unknown workload %q\n", *wl)
 		os.Exit(2)
 	}
+	if *travel > 0 && travelSnap == nil {
+		fmt.Fprintf(os.Stderr, "fireflysim: -travel only supports the synthetic workload (got %q)\n", *wl)
+		os.Exit(2)
+	}
 
 	fmt.Print(m.Report())
+
+	if travelSnap != nil {
+		if err := m.Restore(travelSnap); err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: -travel restore: %v\n", err)
+			os.Exit(1)
+		}
+		m.Run(*travel - uint64(travelSnap.Cycle()))
+		fmt.Printf("\ntime-travel: restored to cycle %d, replayed to cycle %d\n",
+			uint64(travelSnap.Cycle()), uint64(m.Clock().Now()))
+		fmt.Print(m.Report())
+	}
 
 	if plan := m.Faults(); plan != nil {
 		fs := plan.Stats()

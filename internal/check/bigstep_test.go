@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"firefly/internal/coherence"
+	"firefly/internal/cpu"
+	"firefly/internal/fault"
+	"firefly/internal/machine"
+	"firefly/internal/obs"
+	"firefly/internal/qbus"
+	"firefly/internal/trace"
+)
+
+// traceHash folds every observability event into an order-sensitive
+// FNV-1a digest, so two runs produce the same hash only if they emit
+// the same events with the same fields in the same order.
+type traceHash struct {
+	h uint64
+	n uint64
+}
+
+func newTraceHash() *traceHash { return &traceHash{h: 14695981039346656037} }
+
+func (th *traceHash) fold(v uint64) {
+	for i := 0; i < 8; i++ {
+		th.h ^= v & 0xff
+		th.h *= 1099511628211
+		v >>= 8
+	}
+}
+
+func (th *traceHash) Observe(ev obs.Event) {
+	th.n++
+	th.fold(ev.Cycle)
+	th.fold(uint64(ev.Kind))
+	th.fold(uint64(uint32(ev.Unit)))
+	th.fold(uint64(ev.Addr))
+	th.fold(ev.A)
+	th.fold(ev.B)
+	for i := 0; i < len(ev.Label); i++ {
+		th.h ^= uint64(ev.Label[i])
+		th.h *= 1099511628211
+	}
+}
+
+// bigstepRig is one machine under the big-step differential: synthetic
+// load, a correctable fault plan, the QBus DMA engine and disk, the
+// coherence oracle, and a trace hash over every emitted event.
+type bigstepRig struct {
+	m       *machine.Machine
+	disk    *qbus.Disk
+	engine  *qbus.Engine
+	hash    *traceHash
+	checker *Checker
+}
+
+func newBigstepRig(t *testing.T, protoName string, seed uint64) *bigstepRig {
+	t.Helper()
+	proto, ok := ProtocolByName(protoName)
+	if !ok {
+		t.Fatalf("unknown protocol %q", protoName)
+	}
+	m := machine.New(machine.Config{
+		Processors: 3,
+		Variant:    cpu.MicroVAX78032(),
+		Protocol:   proto,
+		CacheLines: 256,
+		LineWords:  2,
+		Seed:       seed,
+		// Correctable classes only: parity and timeouts are retried, soft
+		// memory errors corrected, DMA stalls waited out. The retry
+		// backoff windows are exactly the windows the event scan must get
+		// right (a backed-off requester is invisible to the bus).
+		Faults: &fault.Config{
+			BusParityRate:    2e-4,
+			BusTimeoutRate:   1e-4,
+			MemSoftErrorRate: 2e-4,
+			DMAStallRate:     2e-3,
+		},
+	})
+	rig := &bigstepRig{m: m, hash: newTraceHash()}
+	var err error
+	rig.checker, err = Attach(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Trace(rig.hash)
+	m.AttachSyntheticLoad(trace.SyntheticLoad{MissRate: 0.2, ShareFraction: 0.1, SharedReadFraction: 0.05})
+	maps := &qbus.MapRegisters{}
+	maps.MapRange(0, 0x40000, 1<<15)
+	rig.engine = qbus.NewEngine(m.Clock(), m.Bus(), maps, 0)
+	pl := m.Faults()
+	rig.engine.SetFaultPolicy(pl, pl.MaxRetries(), pl.BackoffCycles())
+	rig.disk = qbus.NewDisk(m.Clock(), m.Bus(), rig.engine, qbus.DiskConfig{SeekCycles: 20_000})
+	m.AddDevice(rig.engine)
+	m.AddDevice(rig.disk)
+	return rig
+}
+
+// driveBigstep runs the rig through the schedule that exercises every
+// stepping regime: loaded processors (hot path), a halted phase with
+// disk DMA draining (seek skips, word pacing, stall and backoff
+// windows), a resume, and a fully quiescent tail.
+func driveBigstep(rig *bigstepRig, step func(uint64)) {
+	m := rig.m
+	np := m.Config().Processors
+	step(12_000)
+	for i := 0; i < np; i++ {
+		m.CPU(i).Halt()
+	}
+	rig.disk.Read(3, 0, nil)
+	rig.disk.Write(5, 0x800, nil)
+	step(90_000)
+	for i := 0; i < np; i++ {
+		m.CPU(i).Resume()
+	}
+	step(8_000)
+	for i := 0; i < np; i++ {
+		m.CPU(i).Halt()
+	}
+	step(30_000)
+}
+
+// TestBigStepDifferential drives identical machines through the same
+// schedule, once through Run (which bulk-skips every provably dead
+// window) and once stepped cycle-by-cycle, for all five protocols with
+// fault injection live. It demands byte-identical reports, identical
+// trace event streams (count and order-sensitive hash), identical
+// device counters, and a green coherence oracle on both machines.
+func TestBigStepDifferential(t *testing.T) {
+	for _, proto := range coherence.All() {
+		proto := proto
+		t.Run(proto.Name(), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []uint64{1, 11} {
+				fast := newBigstepRig(t, proto.Name(), seed)
+				slow := newBigstepRig(t, proto.Name(), seed)
+				driveBigstep(fast, func(n uint64) { fast.m.Run(n) })
+				driveBigstep(slow, func(n uint64) {
+					for i := uint64(0); i < n; i++ {
+						slow.m.Step()
+					}
+				})
+
+				if fc, sc := fast.m.Clock().Now(), slow.m.Clock().Now(); fc != sc {
+					t.Fatalf("seed %d: clock diverged: big-step %d, stepped %d", seed, fc, sc)
+				}
+				if fast.hash.n != slow.hash.n || fast.hash.h != slow.hash.h {
+					t.Errorf("seed %d: trace streams diverged: big-step %d events (%#x), stepped %d events (%#x)",
+						seed, fast.hash.n, fast.hash.h, slow.hash.n, slow.hash.h)
+				}
+				if fr, sr := fmt.Sprint(fast.m.Report()), fmt.Sprint(slow.m.Report()); fr != sr {
+					t.Errorf("seed %d: reports diverged\n--- big-step ---\n%s\n--- stepped ---\n%s", seed, fr, sr)
+				}
+				fd := fmt.Sprintf("%+v %+v", fast.disk.Stats(), fast.engine.Stats())
+				sd := fmt.Sprintf("%+v %+v", slow.disk.Stats(), slow.engine.Stats())
+				if fd != sd {
+					t.Errorf("seed %d: device counters diverged\n--- big-step ---\n%s\n--- stepped ---\n%s", seed, fd, sd)
+				}
+				for name, rig := range map[string]*bigstepRig{"big-step": fast, "stepped": slow} {
+					rig.checker.Walk()
+					for _, v := range rig.checker.Violations() {
+						t.Errorf("seed %d: %s: oracle violation: %v", seed, name, v)
+					}
+				}
+			}
+		})
+	}
+}

@@ -143,10 +143,54 @@ func (c *Cluster) Step() {
 	}
 }
 
-// Run advances the cluster n cycles.
+// Run advances the cluster n cycles. Like Machine.Run, it big-steps:
+// when every machine is quiescent and the wire has no event before some
+// future cycle — a frame mid-serialization, an interframe gap, a backoff
+// window — the cluster clock and every machine clock jump there in one
+// bulk advance, cycle-exact and byte-identical to stepping. Machines are
+// polled before the segment so the common case (any machine running)
+// costs one integer compare per machine and never scans the stations.
 func (c *Cluster) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		c.Step()
+	end := c.clock.Now() + sim.Cycle(n)
+	for {
+		now := c.clock.Now()
+		if now >= end {
+			return
+		}
+		ne := c.nextEvent(now)
+		if ne <= now+1 {
+			c.Step()
+			continue
+		}
+		target := ne - 1
+		if target > end {
+			target = end
+		}
+		c.skip(uint64(target - now))
+	}
+}
+
+// nextEvent returns the earliest future cycle at which any machine or
+// the wire may change state.
+func (c *Cluster) nextEvent(now sim.Cycle) sim.Cycle {
+	ev := sim.Never
+	for _, m := range c.machines {
+		ev = sim.EarliestEvent(ev, m.NextEvent(now))
+		if ev <= now+1 {
+			return ev
+		}
+	}
+	return sim.EarliestEvent(ev, c.seg.NextEvent(now))
+}
+
+// skip advances the cluster n cycles in bulk: the cluster clock, the
+// segment's busy accounting, and every machine (whose own clocks stay
+// in lockstep with the cluster clock).
+func (c *Cluster) skip(n uint64) {
+	c.clock.Advance(sim.Cycle(n))
+	c.seg.SkipCycles(n)
+	for _, m := range c.machines {
+		m.SkipCycles(n)
 	}
 }
 

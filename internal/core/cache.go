@@ -446,6 +446,23 @@ func (c *Cache) Idle() bool {
 	return c.phase == seqIdle && !c.deferred && !c.reqValid
 }
 
+// NextEvent reports the earliest future cycle at which stepping the
+// cache (or granting its bus request) may change observable state. An
+// idle cache reports sim.Never; a cache backing off after a faulted bus
+// operation reports the backoff expiry (its raised request is invisible
+// to the bus until then); anything else in flight reports the next
+// cycle. Pure function of cache state; never over-reports (see the
+// DESIGN.md big-step contract).
+func (c *Cache) NextEvent(now sim.Cycle) sim.Cycle {
+	if c.phase == seqIdle && !c.deferred && !c.reqValid {
+		return sim.Never
+	}
+	if c.reqValid && c.retryAt > now {
+		return c.retryAt
+	}
+	return now + 1
+}
+
 // TagStoreBusyAt reports whether the tag store serviced a snoop probe at
 // the given cycle. The CPU uses this to model the paper's SP term: "Each
 // CPU cache access that hits will be slowed by one tick if an MBus

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"firefly/internal/mbus"
+	"firefly/internal/sim"
+)
+
+// CacheState is an opaque deep copy of a cache's mutable state: tag,
+// state, and data stores, the access sequencer, the raised bus request,
+// fault-recovery latches, snoop bookkeeping, and counters. Wiring
+// (clock, protocol, tracer, fault policy) is not captured; a state must
+// be restored into a cache built with the same geometry and protocol.
+type CacheState struct {
+	tags   []mbus.Addr
+	states []State
+	data   []uint32
+
+	phase        seqPhase
+	acc          Access
+	accIdx       int
+	deferred     bool
+	lastRead     uint32
+	xferWord     int
+	fillBuf      []uint32
+	fillShared   bool
+	fillPoisoned bool
+	victimBase   mbus.Addr
+
+	reqValid bool
+	req      mbus.Request
+
+	retries      int
+	retryAt      sim.Cycle
+	machineCheck bool
+
+	snoopIdx   int
+	snoopLive  bool
+	lastProbed sim.Cycle
+	flushBuf   []mbus.WordFlush
+	doneAt     sim.Cycle
+
+	stats Stats
+}
+
+// SaveState returns a deep copy of the cache's mutable state.
+func (c *Cache) SaveState() *CacheState {
+	return &CacheState{
+		tags:         append([]mbus.Addr(nil), c.tags...),
+		states:       append([]State(nil), c.states...),
+		data:         append([]uint32(nil), c.data...),
+		phase:        c.phase,
+		acc:          c.acc,
+		accIdx:       c.accIdx,
+		deferred:     c.deferred,
+		lastRead:     c.lastRead,
+		xferWord:     c.xferWord,
+		fillBuf:      append([]uint32(nil), c.fillBuf...),
+		fillShared:   c.fillShared,
+		fillPoisoned: c.fillPoisoned,
+		victimBase:   c.victimBase,
+		reqValid:     c.reqValid,
+		req:          c.req,
+		retries:      c.retries,
+		retryAt:      c.retryAt,
+		machineCheck: c.machineCheck,
+		snoopIdx:     c.snoopIdx,
+		snoopLive:    c.snoopLive,
+		lastProbed:   c.lastProbed,
+		flushBuf:     append([]mbus.WordFlush(nil), c.flushBuf...),
+		doneAt:       c.doneAt,
+		stats:        c.stats,
+	}
+}
+
+// RestoreState rewinds the cache to a previously saved state. The cache
+// must have the same geometry (lines, line words) as the one the state
+// was saved from; RestoreState panics otherwise, since a silent partial
+// restore would corrupt the simulation.
+func (c *Cache) RestoreState(st *CacheState) {
+	if len(st.tags) != c.lines || len(st.data) != c.lines*c.lineWords {
+		panic("core: RestoreState into a cache with different geometry")
+	}
+	copy(c.tags, st.tags)
+	copy(c.states, st.states)
+	copy(c.data, st.data)
+	c.phase = st.phase
+	c.acc = st.acc
+	c.accIdx = st.accIdx
+	c.deferred = st.deferred
+	c.lastRead = st.lastRead
+	c.xferWord = st.xferWord
+	copy(c.fillBuf, st.fillBuf)
+	c.fillShared = st.fillShared
+	c.fillPoisoned = st.fillPoisoned
+	c.victimBase = st.victimBase
+	c.reqValid = st.reqValid
+	c.req = st.req
+	c.retries = st.retries
+	c.retryAt = st.retryAt
+	c.machineCheck = st.machineCheck
+	c.snoopIdx = st.snoopIdx
+	c.snoopLive = st.snoopLive
+	c.lastProbed = st.lastProbed
+	c.flushBuf = append(c.flushBuf[:0], st.flushBuf...)
+	c.doneAt = st.doneAt
+	c.stats = st.stats
+}

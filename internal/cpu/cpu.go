@@ -167,6 +167,7 @@ type Processor struct {
 	halted       bool
 
 	instrHook func(p *Processor)
+	haltHook  func(halted bool)
 
 	pendingInts []int
 
@@ -228,11 +229,46 @@ func (p *Processor) SetInstrHook(fn func(*Processor)) { p.instrHook = fn }
 
 // Halt stops the processor; Resume restarts it. A halted processor
 // consumes no ticks.
-func (p *Processor) Halt()   { p.halted = true }
-func (p *Processor) Resume() { p.halted = false }
+func (p *Processor) Halt() {
+	if !p.halted {
+		p.halted = true
+		if p.haltHook != nil {
+			p.haltHook(true)
+		}
+	}
+}
+
+func (p *Processor) Resume() {
+	if p.halted {
+		p.halted = false
+		if p.haltHook != nil {
+			p.haltHook(false)
+		}
+	}
+}
 
 // Halted reports whether the processor is halted.
 func (p *Processor) Halted() bool { return p.halted }
+
+// SetHaltHook installs a callback invoked whenever the processor's halted
+// state changes (true on Halt, false on Resume). The machine uses it to
+// keep an O(1) running-processor count for the big-step run loop, so the
+// hot path never walks the processor list.
+func (p *Processor) SetHaltHook(fn func(halted bool)) { p.haltHook = fn }
+
+// NextEvent reports the earliest future cycle at which the processor may
+// change state: the next tick boundary, or sim.Never while halted. Like
+// every NextEvent in the simulator it is a pure function of component
+// state and may under-shoot (report an earlier cycle than the real event)
+// but never over-shoot: stepping the processor on any cycle strictly
+// before the returned one is an observable no-op.
+func (p *Processor) NextEvent(now sim.Cycle) sim.Cycle {
+	if p.halted {
+		return sim.Never
+	}
+	tc := sim.Cycle(p.v.TickCycles)
+	return (now/tc + 1) * tc
+}
 
 // Interrupt implements mbus.InterruptSink.
 func (p *Processor) Interrupt(from int) {

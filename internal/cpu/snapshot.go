@@ -1,0 +1,87 @@
+package cpu
+
+import (
+	"fmt"
+
+	"firefly/internal/trace"
+)
+
+// State is an opaque deep copy of a processor's mutable state, produced
+// by SaveState and consumed by RestoreState. It captures everything that
+// influences future behaviour — the RNG stream, the in-progress
+// instruction queue, stall flags, pending interrupts, counters, and the
+// reference source's position — but not the wiring (clock, cache,
+// hooks), which belongs to the machine the state is restored into.
+type State struct {
+	rng          uint64
+	tpiCarry     float64
+	queue        []step
+	qhead        int
+	waiting      bool
+	probeStalled bool
+	halted       bool
+	pendingInts  []int
+	stats        Stats
+	srcState     any
+}
+
+// SaveState returns a deep copy of the processor's mutable state. It
+// fails if the reference source does not support snapshots (does not
+// implement trace.Stateful) or if an instruction hook is installed — a
+// hook-driven processor (the Topaz kernel) has scheduler state outside
+// the processor that the snapshot cannot see, and restoring only the
+// processor half would silently desynchronize the two.
+func (p *Processor) SaveState() (*State, error) {
+	if p.instrHook != nil {
+		return nil, fmt.Errorf("cpu %d: snapshot of a hook-driven processor is unsupported", p.id)
+	}
+	st := &State{
+		rng:          p.rng.State(),
+		tpiCarry:     p.tpiCarry,
+		queue:        append([]step(nil), p.queue...),
+		qhead:        p.qhead,
+		waiting:      p.waiting,
+		probeStalled: p.probeStalled,
+		halted:       p.halted,
+		pendingInts:  append([]int(nil), p.pendingInts...),
+		stats:        p.stats,
+	}
+	if p.src != nil {
+		sf, ok := p.src.(trace.Stateful)
+		if !ok {
+			return nil, fmt.Errorf("cpu %d: source %T does not support snapshot", p.id, p.src)
+		}
+		st.srcState = sf.SourceState()
+	}
+	return st, nil
+}
+
+// RestoreState rewinds the processor to a previously saved state. The
+// processor must have the same variant and an equivalent source attached
+// (same type, built from the same configuration); the source's position
+// is restored in place. Hooks and wiring are left untouched; callers
+// that track the halted population (the machine) must recount afterward.
+func (p *Processor) RestoreState(st *State) error {
+	switch {
+	case st.srcState == nil && p.src == nil:
+		// No source on either side; nothing to restore.
+	case st.srcState != nil && p.src != nil:
+		sf, ok := p.src.(trace.Stateful)
+		if !ok {
+			return fmt.Errorf("cpu %d: source %T cannot restore snapshot state", p.id, p.src)
+		}
+		sf.RestoreSourceState(st.srcState)
+	default:
+		return fmt.Errorf("cpu %d: snapshot and processor disagree on having a source", p.id)
+	}
+	p.rng.SetState(st.rng)
+	p.tpiCarry = st.tpiCarry
+	p.queue = append(p.queue[:0], st.queue...)
+	p.qhead = st.qhead
+	p.waiting = st.waiting
+	p.probeStalled = st.probeStalled
+	p.halted = st.halted
+	p.pendingInts = append(p.pendingInts[:0:0], st.pendingInts...)
+	p.stats = st.stats
+	return nil
+}

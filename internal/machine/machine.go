@@ -147,6 +147,30 @@ type IdleStepper interface {
 	Idle() bool
 }
 
+// EventStepper is an optional Stepper extension for devices that can
+// name the earliest future cycle at which stepping them may change
+// observable state (a seek completing, a stall expiring, the next DMA
+// word issuing). The contract matches the component NextEvent methods
+// (see DESIGN.md, "Big-step stepping & snapshots"): a pure function of
+// device state, allowed to under-report the distance (an early wake is
+// only a lost skip) but never to over-report it, with sim.Never meaning
+// no event without new work from outside the cycle loop. Run uses it to
+// jump the clock over provably dead windows in one bulk advance.
+type EventStepper interface {
+	Stepper
+	NextEvent(now sim.Cycle) sim.Cycle
+}
+
+// CycleSkipper is an optional Stepper extension for devices whose Step
+// has per-cycle accounting even while waiting (the DMA engine counts
+// grant-wait and backoff stalls every cycle). When Run bulk-advances the
+// clock by n cycles it calls SkipCycles(n) so the device applies the
+// accounting those n elided Steps would have done. Devices without
+// per-cycle side effects need not implement it.
+type CycleSkipper interface {
+	SkipCycles(n uint64)
+}
+
 // Machine is an assembled Firefly system.
 type Machine struct {
 	cfg     Config
@@ -159,6 +183,11 @@ type Machine struct {
 	tracer  *obs.Tracer
 	reg     *stats.Registry
 	plan    *fault.Plan
+
+	// running counts non-halted processors, maintained by halt hooks, so
+	// Run's hot path gates the event scan on one integer compare instead
+	// of touring every component per cycle.
+	running int
 }
 
 // New builds a machine. Reference sources start nil; attach them with
@@ -185,6 +214,16 @@ func New(cfg Config) *Machine {
 		}
 		m.caches = append(m.caches, cache)
 		m.cpus = append(m.cpus, p)
+	}
+	m.running = len(m.cpus)
+	for _, p := range m.cpus {
+		p.SetHaltHook(func(halted bool) {
+			if halted {
+				m.running--
+			} else {
+				m.running++
+			}
+		})
 	}
 	if cfg.Faults != nil {
 		fcfg := *cfg.Faults
@@ -407,48 +446,103 @@ func (m *Machine) Step() {
 	}
 }
 
-// Run advances the machine by n cycles. When the machine is provably
-// quiescent — every processor halted, every cache idle, the bus empty
-// with no requests pending, and every device reporting idle — the
-// remaining cycles advance in one bulk clock jump instead of touring
-// every component per cycle (the hot-loop fast path for DMA drains,
-// scripted rigs, and halted-CPU measurement harnesses). The skip is
-// behaviour-identical to stepping: a quiescent machine changes no state
-// other than the clock and the bus cycle counter.
+// Run advances the machine by n cycles. While any processor is running
+// or a bus operation is in flight the machine steps cycle-by-cycle; the
+// hot path costs one integer compare and one bus flag load before the
+// Step. Once every processor has halted and the bus has drained, Run
+// asks each remaining time-owner (caches, devices, the bus, the fault
+// plan) for its NextEvent and jumps the clock to just before the
+// earliest one in a single bulk advance — cycle-exact and
+// byte-identical to stepping, because the elided cycles are provably
+// no-ops apart from the per-cycle accounting CycleSkipper devices apply
+// in bulk. This is the fast path for DMA drains, seek waits, scripted
+// rigs, and halted-CPU measurement harnesses.
 func (m *Machine) Run(n uint64) {
-	for i := uint64(0); i < n; i++ {
-		if m.quiescent() {
-			remaining := n - i
-			m.clock.Advance(sim.Cycle(remaining))
-			m.bus.SkipIdle(remaining)
+	end := m.clock.Now() + sim.Cycle(n)
+	for {
+		now := m.clock.Now()
+		if now >= end {
 			return
 		}
-		m.Step()
+		if m.running > 0 || m.bus.Busy() {
+			m.Step()
+			continue
+		}
+		ne := m.nextEvent(now)
+		if ne <= now+1 {
+			m.Step()
+			continue
+		}
+		// Skip to one cycle before the event (or the end of the run) and
+		// let the next iteration step through the event normally.
+		target := ne - 1
+		if target > end {
+			target = end
+		}
+		m.SkipCycles(uint64(target - now))
 	}
 }
 
-// quiescent reports whether a Step would change nothing but the clock.
-// The processor check comes first: it is a cheap flag load and fails
-// immediately on any running machine, keeping the fast-path test out of
-// the way of normal execution.
-func (m *Machine) quiescent() bool {
+// NextEvent reports the earliest future cycle at which stepping the
+// machine may change observable state, with sim.Never meaning the
+// machine is fully quiescent until new outside work arrives. A machine
+// with a running processor or an active bus operation conservatively
+// reports the next cycle; otherwise every time-owning component is
+// polled. The cluster uses it to big-step several machines and the
+// Ethernet segment together.
+func (m *Machine) NextEvent(now sim.Cycle) sim.Cycle {
+	if m.running > 0 || m.bus.Busy() {
+		return now + 1
+	}
+	return m.nextEvent(now)
+}
+
+// nextEvent scans every time-owning component for its earliest future
+// event. Only called with all processors halted and the bus inactive;
+// the bus is still polled because backed-off requesters are invisible
+// to it (their own NextEvent reports the retry expiry) while queued
+// requesters make it report the next cycle.
+func (m *Machine) nextEvent(now sim.Cycle) sim.Cycle {
+	ev := m.bus.NextEvent(now)
 	for _, p := range m.cpus {
-		if !p.Halted() {
-			return false
-		}
+		ev = sim.EarliestEvent(ev, p.NextEvent(now))
 	}
 	for _, c := range m.caches {
-		if !c.Idle() {
-			return false
-		}
+		ev = sim.EarliestEvent(ev, c.NextEvent(now))
 	}
 	for _, d := range m.devices {
-		is, ok := d.(IdleStepper)
-		if !ok || !is.Idle() {
-			return false
+		switch x := d.(type) {
+		case EventStepper:
+			ev = sim.EarliestEvent(ev, x.NextEvent(now))
+		case IdleStepper:
+			if !x.Idle() {
+				return now + 1
+			}
+			// Idle: no events until new work from outside the loop.
+		default:
+			// A bare Stepper gives no quiescence signal; never skip.
+			return now + 1
 		}
 	}
-	return m.bus.Quiescent()
+	if m.plan != nil {
+		ev = sim.EarliestEvent(ev, m.plan.NextEvent(now))
+	}
+	return ev
+}
+
+// SkipCycles advances the machine n cycles in one bulk jump: the clock
+// and the bus cycle counter move, and CycleSkipper devices apply their
+// per-cycle accounting. Valid only when the machine has no event in the
+// window (NextEvent(now) > now+n); Run and the cluster maintain that
+// invariant.
+func (m *Machine) SkipCycles(n uint64) {
+	m.clock.Advance(sim.Cycle(n))
+	m.bus.SkipIdle(n)
+	for _, d := range m.devices {
+		if cs, ok := d.(CycleSkipper); ok {
+			cs.SkipCycles(n)
+		}
+	}
 }
 
 // RunSeconds advances the machine by the given simulated time, rounded

@@ -38,6 +38,18 @@ type Arbiter interface {
 	Reset()
 }
 
+// StatefulArbiter is implemented by arbiters whose Grant decisions
+// depend on internal bookkeeping (e.g. the FCFS queue). Machine
+// snapshot/restore uses it to capture and rewind that bookkeeping;
+// stateless arbiters need not implement it.
+type StatefulArbiter interface {
+	Arbiter
+	// ArbState returns a deep copy of the arbiter's internal state.
+	ArbState() any
+	// RestoreArbState rewinds to a state previously returned by ArbState.
+	RestoreArbState(any)
+}
+
 // fixedPriority grants the lowest-numbered requesting port, as the
 // hardware backplane did. It is stateless; the bus devirtualizes it on
 // the hot path (see Bus.arbitrate).
@@ -151,6 +163,28 @@ func (q *fcfsQueue) Reset() {
 		q.queued[i] = false
 	}
 }
+
+type fcfsState struct {
+	queue  []int
+	queued []bool
+}
+
+// ArbState implements StatefulArbiter.
+func (q *fcfsQueue) ArbState() any {
+	return fcfsState{
+		queue:  append([]int(nil), q.queue...),
+		queued: append([]bool(nil), q.queued...),
+	}
+}
+
+// RestoreArbState implements StatefulArbiter.
+func (q *fcfsQueue) RestoreArbState(s any) {
+	st := s.(fcfsState)
+	q.queue = append(q.queue[:0], st.queue...)
+	q.queued = append(q.queued[:0:0], st.queued...)
+}
+
+var _ StatefulArbiter = (*fcfsQueue)(nil)
 
 // arbiterNames lists the known policies in presentation order.
 var arbiterNames = []string{"fixed", "rr", "fcfs"}

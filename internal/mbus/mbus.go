@@ -472,6 +472,19 @@ func (b *Bus) Quiescent() bool {
 	return true
 }
 
+// NextEvent reports the earliest future cycle at which stepping the bus
+// may change observable state: the next cycle while an operation is in
+// flight or any port is requesting, sim.Never otherwise. Initiators
+// whose raised request is temporarily invisible (retry backoff) report
+// their own wake-up cycle through their own NextEvent — the bus cannot
+// see them and does not try to.
+func (b *Bus) NextEvent(now sim.Cycle) sim.Cycle {
+	if b.Quiescent() {
+		return sim.Never
+	}
+	return now + 1
+}
+
 // SkipIdle accounts n cycles during which the caller has established the
 // bus would only have idled: the cycle counter advances with no busy,
 // wait, or operation accounting, exactly as n idle Steps would have

@@ -1,0 +1,98 @@
+package mbus
+
+import "fmt"
+
+// BusState is an opaque deep copy of the bus's mutable state: the
+// in-flight operation (phase, verdicts, fault latches), arbitration
+// bookkeeping (last grant, stateful-arbiter internals), and statistics.
+// Port wiring, memory attachment, the injector, and the tracer are not
+// captured: a state must be restored into a bus with the same ports in
+// the same order.
+type BusState struct {
+	active   bool
+	phase    int
+	op       OpKind
+	addr     Addr
+	data     uint32
+	victim   bool
+	portNum  int
+	verdicts []SnoopVerdict
+	shared   bool
+	fault    FaultKind
+	holdLeft uint64
+
+	lastGrant int
+	arbState  any
+
+	stats Stats
+}
+
+// SaveState returns a deep copy of the bus's mutable state. Arbiters
+// with internal bookkeeping must implement StatefulArbiter to be
+// captured (all built-in stateful policies do); RestoreState detects the
+// mismatch if a snapshot without arbiter state meets a stateful arbiter.
+func (b *Bus) SaveState() (*BusState, error) {
+	st := &BusState{
+		active:    b.active,
+		phase:     b.phase,
+		op:        b.op,
+		addr:      b.addr,
+		data:      b.data,
+		victim:    b.victim,
+		portNum:   b.portNum,
+		shared:    b.shared,
+		fault:     b.fault,
+		holdLeft:  b.holdLeft,
+		lastGrant: b.lastGrant,
+		stats:     b.Stats(),
+	}
+	st.verdicts = make([]SnoopVerdict, len(b.verdicts))
+	for i, v := range b.verdicts {
+		st.verdicts[i] = v
+		st.verdicts[i].Flush = append([]WordFlush(nil), v.Flush...)
+	}
+	if sa, ok := b.arb.(StatefulArbiter); ok {
+		st.arbState = sa.ArbState()
+	}
+	return st, nil
+}
+
+// RestoreState rewinds the bus to a previously saved state. The bus must
+// have the same number of ports as when the state was saved.
+func (b *Bus) RestoreState(st *BusState) error {
+	if len(st.stats.PerPort) != len(b.ports) {
+		return fmt.Errorf("mbus: restore with %d ports into a bus with %d", len(st.stats.PerPort), len(b.ports))
+	}
+	b.active = st.active
+	b.phase = st.phase
+	b.op = st.op
+	b.addr = st.addr
+	b.data = st.data
+	b.victim = st.victim
+	b.portNum = st.portNum
+	b.shared = st.shared
+	b.fault = st.fault
+	b.holdLeft = st.holdLeft
+	b.lastGrant = st.lastGrant
+	if cap(b.verdicts) < len(st.verdicts) {
+		b.verdicts = make([]SnoopVerdict, len(st.verdicts))
+	}
+	b.verdicts = b.verdicts[:len(st.verdicts)]
+	for i, v := range st.verdicts {
+		b.verdicts[i] = v
+		b.verdicts[i].Flush = append([]WordFlush(nil), v.Flush...)
+	}
+	b.stats = st.stats
+	b.stats.PerPort = append([]uint64(nil), st.stats.PerPort...)
+	b.stats.WaitPerPort = append([]uint64(nil), st.stats.WaitPerPort...)
+	if st.arbState != nil {
+		sa, ok := b.arb.(StatefulArbiter)
+		if !ok {
+			return fmt.Errorf("mbus: snapshot carries arbiter state but arbiter %q cannot restore it", b.arb.Name())
+		}
+		sa.RestoreArbState(st.arbState)
+	} else if _, ok := b.arb.(StatefulArbiter); ok {
+		return fmt.Errorf("mbus: stateful arbiter %q but snapshot carries no arbiter state", b.arb.Name())
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package memory
+
+import "fmt"
+
+// SystemState is an opaque deep copy of the storage array's mutable
+// state: every materialized page plus the access and ECC counters.
+// Geometry (module count, bases, sizes) is not captured; a state must
+// be restored into an identically configured system.
+type SystemState struct {
+	modules []moduleState
+	eccStat ECCStats
+}
+
+type moduleState struct {
+	pages  [][]uint32 // nil slots stay nil: untouched pages copy for free
+	reads  uint64
+	writes uint64
+}
+
+// SaveState returns a deep copy of the storage contents and counters.
+// Cost is proportional to the storage actually touched, not the
+// configured capacity — untouched pages are nil in both the live table
+// and the snapshot.
+func (s *System) SaveState() *SystemState {
+	st := &SystemState{eccStat: s.eccStat}
+	st.modules = make([]moduleState, len(s.modules))
+	for i, m := range s.modules {
+		ms := moduleState{reads: m.reads, writes: m.writes}
+		ms.pages = make([][]uint32, len(m.pages))
+		for p, page := range m.pages {
+			if page != nil {
+				ms.pages[p] = append([]uint32(nil), page...)
+			}
+		}
+		st.modules[i] = ms
+	}
+	return st
+}
+
+// RestoreState rewinds the storage array to a previously saved state.
+// The system must have the same module geometry as the one the state
+// was saved from.
+func (s *System) RestoreState(st *SystemState) error {
+	if len(st.modules) != len(s.modules) {
+		return fmt.Errorf("memory: restore with %d modules into a system with %d", len(st.modules), len(s.modules))
+	}
+	for i, ms := range st.modules {
+		m := s.modules[i]
+		if len(ms.pages) != len(m.pages) {
+			return fmt.Errorf("memory: module %d page-table size mismatch", i)
+		}
+		for p, page := range ms.pages {
+			if page == nil {
+				m.pages[p] = nil
+				continue
+			}
+			if m.pages[p] == nil {
+				m.pages[p] = make([]uint32, pageWords)
+			}
+			copy(m.pages[p], page)
+		}
+		m.reads = ms.reads
+		m.writes = ms.writes
+	}
+	s.eccStat = st.eccStat
+	return nil
+}

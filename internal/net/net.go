@@ -141,6 +141,7 @@ func (s *Station) Send(f Frame, done func(ok bool)) {
 	}
 	f.Src = s.id
 	s.queue = append(s.queue, &txFrame{frame: f, done: done})
+	s.seg.wake = 0
 }
 
 // Segment is the shared wire.
@@ -154,6 +155,10 @@ type Segment struct {
 	curSrc   int
 	busyTill sim.Cycle
 	idleAt   sim.Cycle
+	// wake caches NextEvent while the wire is idle so per-cycle Steps
+	// through interframe gaps and backoff windows are one compare. Zero
+	// means unknown (recompute); Send resets it.
+	wake sim.Cycle
 
 	inj    FaultInjector
 	tracer *obs.Tracer
@@ -249,9 +254,68 @@ func (s *Segment) emit(kind obs.Kind, unit int, a, b uint64) {
 	})
 }
 
+// NextEvent reports the earliest future cycle at which Step may change
+// the segment's state: the end of the frame being serialized, or — wire
+// idle — the first cycle a queued station can contend (the later of the
+// interframe gap and its backoff expiry). A segment with no frame on the
+// wire and no frame queued has no events until a new Send.
+func (s *Segment) NextEvent(now sim.Cycle) sim.Cycle {
+	if s.cur != nil {
+		if s.busyTill > now {
+			return s.busyTill
+		}
+		return now + 1
+	}
+	ev := sim.Never
+	for _, st := range s.stations {
+		if len(st.queue) == 0 {
+			continue
+		}
+		ready := now + 1
+		if st.backoffUntil > now {
+			ready = st.backoffUntil
+		}
+		if s.idleAt > ready {
+			ready = s.idleAt
+		}
+		ev = sim.EarliestEvent(ev, ready)
+	}
+	return ev
+}
+
+// SkipCycles credits n skipped cycles of wire activity: the per-cycle
+// accounting Step would have done had it been called n times with the
+// wire in its current state. Only valid over a window in which no
+// station Sends (the cluster skips only when every machine is idle).
+func (s *Segment) SkipCycles(n uint64) {
+	if s.cur == nil {
+		return
+	}
+	s.stats.BusyCycles.Add(n)
+	// Carrier-sense deferral marking is idempotent per head frame, so
+	// marking once covers the whole window.
+	for _, st := range s.stations {
+		if st.id != s.curSrc && len(st.queue) > 0 {
+			st.queue[0].deferred = true
+		}
+	}
+}
+
 // Step advances the wire one cycle. The cluster must call it once per
 // cluster cycle, before stepping the machines.
 func (s *Segment) Step() {
+	if s.cur == nil && s.wake > s.clock.Now() {
+		return
+	}
+	s.wake = 0
+	s.step()
+	if s.cur == nil {
+		s.wake = s.NextEvent(s.clock.Now())
+	}
+}
+
+// step is the slow path: the full carrier-sense/contention state machine.
+func (s *Segment) step() {
 	now := s.clock.Now()
 	if s.cur != nil {
 		s.stats.BusyCycles.Inc()

@@ -237,6 +237,48 @@ func (e *Engine) Idle() bool {
 // QueueLen returns the number of pending transfers (excluding the current).
 func (e *Engine) QueueLen() int { return len(e.queue) }
 
+// NextEvent reports the earliest future cycle at which stepping the
+// engine may change observable state: sim.Never when idle, the retry
+// backoff expiry while a faulted word waits it out, the pacing or
+// fault-stall expiry between words, and the next cycle otherwise.
+// Cycles strictly before the reported one are covered by SkipCycles.
+func (e *Engine) NextEvent(now sim.Cycle) sim.Cycle {
+	if e.inFlight {
+		return now + 1
+	}
+	if e.reqValid {
+		if e.retryAt > now {
+			return e.retryAt
+		}
+		return now + 1
+	}
+	if e.cur == nil {
+		if len(e.queue) == 0 {
+			return sim.Never
+		}
+		return now + 1
+	}
+	wake := e.nextIssue
+	if e.stallTill > wake {
+		wake = e.stallTill
+	}
+	if wake <= now {
+		return now + 1
+	}
+	return wake
+}
+
+// SkipCycles accounts n skipped cycles in bulk, reproducing exactly the
+// per-cycle side effects n no-op Steps would have had. The only such
+// side effect is grant-wait accounting: Step charges one StallCycle per
+// cycle while a request is raised and not in flight (including retry
+// backoff); the pacing and fault-stall waits are counter-free.
+func (e *Engine) SkipCycles(n uint64) {
+	if e.reqValid && !e.inFlight {
+		e.stats.StallCycles.Add(n)
+	}
+}
+
 // Submit queues a transfer.
 func (e *Engine) Submit(t *Transfer) {
 	if t.Words <= 0 {
@@ -381,6 +423,45 @@ func boolArg(b bool) uint64 {
 		return 1
 	}
 	return 0
+}
+
+// EngineState is an opaque copy of the engine's snapshot-visible state.
+// Transfers hold caller-owned buffers and completion callbacks that a
+// snapshot cannot deep-copy, so the engine only snapshots while idle —
+// between transfers — capturing the issue pacing timer (which reaches
+// into the next transfer) and the statistics.
+type EngineState struct {
+	nextIssue sim.Cycle
+	stats     EngineStats
+}
+
+// SaveState returns the engine's snapshot state. It fails unless the
+// engine is idle (no queued or in-flight transfer): an in-flight
+// Transfer's Data and OnDone belong to the submitting device and cannot
+// be rewound.
+func (e *Engine) SaveState() (any, error) {
+	if !e.Idle() {
+		return nil, fmt.Errorf("qbus: snapshot requires an idle DMA engine (transfer in progress)")
+	}
+	return &EngineState{nextIssue: e.nextIssue, stats: e.Stats()}, nil
+}
+
+// RestoreState rewinds an idle engine to a previously saved state.
+func (e *Engine) RestoreState(s any) error {
+	st, ok := s.(*EngineState)
+	if !ok {
+		return fmt.Errorf("qbus: RestoreState with foreign state %T", s)
+	}
+	if !e.Idle() {
+		return fmt.Errorf("qbus: restore requires an idle DMA engine (transfer in progress)")
+	}
+	e.nextIssue = st.nextIssue
+	e.stats = st.stats
+	e.stats.PerDeviceWord = make(map[string]uint64, len(st.stats.PerDeviceWord))
+	for k, v := range st.stats.PerDeviceWord {
+		e.stats.PerDeviceWord[k] = v
+	}
+	return nil
 }
 
 func (e *Engine) finishCurrent(fault bool) {

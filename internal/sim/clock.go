@@ -48,3 +48,17 @@ func (c *Clock) Advance(n Cycle) Cycle {
 
 // Reset rewinds the clock to zero. Used between benchmark iterations.
 func (c *Clock) Reset() { c.now = 0 }
+
+// Never is the NextEvent sentinel: the component will not change state at
+// any future cycle without external input (a new request, a delivered
+// frame, a resumed processor). Any real event cycle compares smaller.
+const Never Cycle = ^Cycle(0)
+
+// EarliestEvent returns the smaller of two event cycles, treating Never
+// as "no event". It is the fold step for a machine-wide NextEvent scan.
+func EarliestEvent(a, b Cycle) Cycle {
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,22 @@
+package topaz
+
+import (
+	"testing"
+
+	"firefly/internal/machine"
+)
+
+// TestKernelMachineCannotSnapshot pins the snapshot honesty contract:
+// a kernel-driven machine refuses to snapshot. Thread programs are
+// closures over live Go state and the scheduler's ready queues live
+// outside the processors, so a processor-only snapshot would silently
+// desynchronize the kernel from the machine on restore; the hook-driven
+// CPU reports the refusal instead.
+func TestKernelMachineCannotSnapshot(t *testing.T) {
+	m := machine.New(machine.MicroVAXConfig(2))
+	k := NewKernel(m, Config{})
+	k.Fork(Seq(Compute{1_000}), ThreadSpec{Name: "worker"}, nil)
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("snapshot of a kernel-driven machine succeeded; kernel state is not captured")
+	}
+}
