@@ -34,8 +34,62 @@ import (
 	"firefly/internal/obs"
 	"firefly/internal/topaz"
 	"firefly/internal/trace"
+	"firefly/internal/verify"
 	"firefly/internal/workload"
 )
+
+// runVerify exhaustively checks one protocol (or the whole shipped suite)
+// in the abstract counter model, printing per-space results and exiting 1
+// when a counterexample is found. When out is non-empty the smallest
+// counterexample is concretized into a replay file runnable with -replay.
+func runVerify(name, out string) {
+	names := []string{name}
+	if name == "all" {
+		names = verify.ShippedProtocolNames()
+	}
+	unsafe := false
+	for _, n := range names {
+		r, err := verify.ForProtocol(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+		for _, sp := range append(append([]*verify.Space{}, r.Exact...), r.Symbolic) {
+			kLabel := fmt.Sprintf("k=%d", sp.K)
+			if sp.K == 0 {
+				kLabel = "k=ω"
+			}
+			verdict := "safe"
+			if sp.Counterexample != nil {
+				verdict = "UNSAFE (" + sp.Counterexample.Kind + ")"
+			}
+			fmt.Printf("verify %s %s: %d states, %d transitions, diameter %d: %s\n",
+				n, kLabel, sp.States, sp.Transitions, sp.Diameter, verdict)
+		}
+		ce := r.Counterexample()
+		if ce == nil {
+			fmt.Printf("verify %s: SAFE — all invariants hold in every reachable configuration\n", n)
+			continue
+		}
+		unsafe = true
+		fmt.Printf("verify %s: %s\n", n, ce)
+		if out != "" {
+			cfg, sched, err := verify.Concretize(r.Model, ce)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fireflysim: concretize: %v\n", err)
+				os.Exit(2)
+			}
+			if err := check.SaveReplay(out, cfg, sched); err != nil {
+				fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Printf("verify %s: counterexample schedule written to %s (run with -replay)\n", n, out)
+		}
+	}
+	if unsafe {
+		os.Exit(1)
+	}
+}
 
 // runCluster drives N Fireflies on a shared Ethernet: node 0 runs the
 // RPC server, every other node aims caller threads at it, and the run
@@ -109,10 +163,17 @@ func main() {
 	checkFlag := flag.Bool("check", false, "run the coherence checker alongside the workload (oracle + invariant walks)")
 	faults := flag.String("faults", "", `fault-injection spec, e.g. "bus=1e-4,mem=1e-4" or "all=1e-4" (keys: bus, timeout, mem, memunc, nxm, stall, tag, all, retries, backoff, stallcycles, hold, start, end, seed, addrmin, addrmax)`)
 	replay := flag.String("replay", "", "re-execute a coherence-checker replay file and report the outcome")
+	verifyProto := flag.String("verify", "", `exhaustively verify a protocol's coherence invariants in the abstract counter model ("all" = the whole shipped suite); exits 1 on a counterexample`)
+	verifyOut := flag.String("verify-out", "", "with -verify: write the concretized counterexample as a replay file (runnable with -replay)")
 	clusterN := flag.Int("cluster", 0, "run an N-machine cluster on a shared Ethernet instead of one machine (node 0 serves, the rest call)")
 	callers := flag.Int("callers", 3, "caller threads per client machine in -cluster mode")
 	travel := flag.Uint64("travel", 0, "time-travel: after the run, restore the post-warmup snapshot, replay to this cycle, and print the report there (synthetic workload only; 0 = off)")
 	flag.Parse()
+
+	if *verifyProto != "" {
+		runVerify(*verifyProto, *verifyOut)
+		return
+	}
 
 	if *replay != "" {
 		res, err := check.RunReplayFile(*replay)

@@ -12,8 +12,9 @@ import (
 // by accident.
 
 const (
-	nameBadStaleSharer  = "bad-stale-sharer"
-	nameBadDoubleWriter = "bad-double-writer"
+	nameBadStaleSharer   = "bad-stale-sharer"
+	nameBadDoubleWriter  = "bad-double-writer"
+	nameBadExclusiveFill = "bad-exclusive-fill"
 )
 
 // BadStaleSharer is Firefly with the snoop update rule deleted: a sharer
@@ -55,4 +56,27 @@ func (BadDoubleWriter) AfterWriteHit(s core.State, usedBus, shared bool) core.St
 		return core.Shared
 	}
 	return core.Dirty
+}
+
+// BadExclusiveFill is Firefly with the MShared response ignored on fills:
+// every miss arrives Exclusive even when other caches assert that they
+// hold the line. Two caches then believe they own a private copy, and the
+// next local write goes unbroadcast. Unlike the two data-path mutations
+// above, this is a pure *state* bug: the per-state transition-arc table
+// cannot see it (Invalid -> Exclusive is a legal Firefly arc), but the
+// reachability checker and the invariant walker both can.
+type BadExclusiveFill struct{ core.Firefly }
+
+// Name implements core.Protocol.
+func (BadExclusiveFill) Name() string { return nameBadExclusiveFill }
+
+// AfterFill implements core.Protocol, dropping the MShared response.
+func (BadExclusiveFill) AfterFill(write, shared bool) core.State {
+	return core.Exclusive
+}
+
+// AfterDirectWriteMiss implements core.Protocol, dropping the MShared
+// response for the optimized write-through path too.
+func (BadExclusiveFill) AfterDirectWriteMiss(shared bool) core.State {
+	return core.Exclusive
 }

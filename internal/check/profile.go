@@ -39,8 +39,8 @@ type Profile struct {
 	CleanMatchesMemory bool
 }
 
-// legalStates returns the profile's legal states in enum order.
-func (p Profile) legalStates() []core.State {
+// LegalStates returns the profile's legal states in enum order.
+func (p Profile) LegalStates() []core.State {
 	var out []core.State
 	for s := core.State(0); s < core.NumStates; s++ {
 		if p.Legal[s] {
@@ -50,12 +50,16 @@ func (p Profile) legalStates() []core.State {
 	return out
 }
 
-// deriveArcs builds the transition legality table from the protocol's own
+// DeriveArcs builds the transition legality table from the protocol's own
 // rule set plus the controller mechanics that move states outside those
 // rules: replacement fills land in a line whose previous (clean) state is
 // overwritten, dirty victims write back to Invalid, and a victim
 // write-back abandoned because a snoop stripped its dirt drops the line.
-func deriveArcs(p core.Protocol, legal []core.State, ops []mbus.OpKind) [core.NumStates][core.NumStates]bool {
+// It is the single mechanical extraction of a protocol's transition
+// structure: the runtime arc checker consumes it directly, and the
+// exhaustive model checker (internal/verify) derives its counter-world
+// rules from the same protocol methods and cross-checks against it.
+func DeriveArcs(p core.Protocol, legal []core.State, ops []mbus.OpKind) [core.NumStates][core.NumStates]bool {
 	var arcs [core.NumStates][core.NumStates]bool
 	add := func(from, to core.State) { arcs[from][to] = true }
 	for _, s := range legal {
@@ -115,7 +119,7 @@ func ProfileFor(proto core.Protocol) (Profile, bool) {
 	var legal [core.NumStates]bool
 	var ops []mbus.OpKind
 	switch proto.Name() {
-	case "firefly", nameBadStaleSharer, nameBadDoubleWriter:
+	case "firefly", nameBadStaleSharer, nameBadDoubleWriter, nameBadExclusiveFill:
 		legal = legalSet(core.Invalid, core.Exclusive, core.Dirty, core.Shared)
 		ops = opsUpdateFirefly
 	case "write-through-invalidate":
@@ -139,13 +143,7 @@ func ProfileFor(proto core.Protocol) (Profile, bool) {
 		Ops:                ops,
 		CleanMatchesMemory: true,
 	}
-	var legals []core.State
-	for s := core.State(0); s < core.NumStates; s++ {
-		if legal[s] {
-			legals = append(legals, s)
-		}
-	}
-	p.Arcs = deriveArcs(proto, legals, ops)
+	p.Arcs = DeriveArcs(proto, p.LegalStates(), ops)
 	return p, true
 }
 
@@ -158,6 +156,15 @@ func ProtocolByName(name string) (core.Protocol, bool) {
 		return BadStaleSharer{}, true
 	case nameBadDoubleWriter:
 		return BadDoubleWriter{}, true
+	case nameBadExclusiveFill:
+		return BadExclusiveFill{}, true
 	}
 	return coherence.ByName(name)
+}
+
+// BrokenProtocolNames lists the deliberately broken protocols, in a stable
+// order, for harnesses that validate the checking and verification layers
+// against known failures.
+func BrokenProtocolNames() []string {
+	return []string{nameBadStaleSharer, nameBadDoubleWriter, nameBadExclusiveFill}
 }

@@ -1,0 +1,137 @@
+package check
+
+import (
+	"testing"
+
+	"firefly/internal/core"
+)
+
+// allCheckerNames is every protocol the checker can resolve: the real
+// suite plus the deliberately broken ones.
+func allCheckerNames() []string {
+	return append([]string{
+		"firefly", "dragon", "berkeley", "mesi", "write-through-invalidate",
+	}, BrokenProtocolNames()...)
+}
+
+func TestLegalStatesOrderedAndComplete(t *testing.T) {
+	for _, name := range allCheckerNames() {
+		proto, ok := ProtocolByName(name)
+		if !ok {
+			t.Fatalf("ProtocolByName(%q) failed", name)
+		}
+		prof, ok := ProfileFor(proto)
+		if !ok {
+			t.Fatalf("ProfileFor(%q) failed", name)
+		}
+		states := prof.LegalStates()
+		if len(states) < 3 {
+			t.Errorf("%s: only %d legal states", name, len(states))
+		}
+		if states[0] != core.Invalid {
+			t.Errorf("%s: legal states %v do not start with Invalid", name, states)
+		}
+		for i := 1; i < len(states); i++ {
+			if states[i] <= states[i-1] {
+				t.Errorf("%s: legal states %v not in ascending enum order", name, states)
+			}
+		}
+		for _, s := range states {
+			if !prof.Legal[s] {
+				t.Errorf("%s: LegalStates returned %s but Legal[%s] is false", name, s, s)
+			}
+		}
+	}
+}
+
+// TestDeriveArcsProperties pins the structural facts every derived arc
+// table must satisfy: arcs only leave and enter legal states, every valid
+// legal state can be dropped to Invalid (victim replacement), fills from
+// Invalid reach some valid state, and dirty states are never the source
+// of a silent replacement arc into a non-Invalid state unless the
+// protocol's own rules produce it.
+func TestDeriveArcsProperties(t *testing.T) {
+	for _, name := range allCheckerNames() {
+		proto, ok := ProtocolByName(name)
+		if !ok {
+			t.Fatalf("ProtocolByName(%q) failed", name)
+		}
+		prof, _ := ProfileFor(proto)
+		arcs := DeriveArcs(proto, prof.LegalStates(), prof.Ops)
+		if arcs != prof.Arcs {
+			t.Errorf("%s: ProfileFor and DeriveArcs disagree", name)
+		}
+		fillReachesValid := false
+		for from := core.State(0); from < core.NumStates; from++ {
+			for to := core.State(0); to < core.NumStates; to++ {
+				if !arcs[from][to] {
+					continue
+				}
+				if !prof.Legal[from] || !prof.Legal[to] {
+					t.Errorf("%s: arc %s→%s touches an illegal state", name, from, to)
+				}
+				if from == core.Invalid && to.Valid() {
+					fillReachesValid = true
+				}
+			}
+			if prof.Legal[from] && from.Valid() && !arcs[from][core.Invalid] {
+				t.Errorf("%s: no %s→Invalid arc; victims could never leave", name, from)
+			}
+		}
+		if !fillReachesValid {
+			t.Errorf("%s: no fill arc out of Invalid", name)
+		}
+	}
+}
+
+// TestDeriveArcsKnownProtocolFacts spot-checks arcs that distinguish the
+// protocol families, so a derivation regression cannot hide behind the
+// structural properties.
+func TestDeriveArcsKnownProtocolFacts(t *testing.T) {
+	arcsOf := func(name string) [core.NumStates][core.NumStates]bool {
+		proto, _ := ProtocolByName(name)
+		prof, ok := ProfileFor(proto)
+		if !ok {
+			t.Fatalf("no profile for %q", name)
+		}
+		return prof.Arcs
+	}
+
+	firefly := arcsOf("firefly")
+	if !firefly[core.Exclusive][core.Dirty] {
+		t.Error("firefly: write hit on Exclusive must reach Dirty")
+	}
+	if !firefly[core.Dirty][core.Shared] {
+		t.Error("firefly: snooped read of a Dirty line must reach Shared")
+	}
+	if firefly[core.SharedDirty][core.Shared] || firefly[core.Shared][core.SharedDirty] {
+		t.Error("firefly: SharedDirty arcs present but the state is illegal")
+	}
+
+	dragon := arcsOf("dragon")
+	if !dragon[core.SharedDirty][core.Shared] {
+		t.Error("dragon: snooped read of SharedDirty owner must reach Shared")
+	}
+
+	mesi := arcsOf("mesi")
+	if !mesi[core.Shared][core.Invalid] {
+		t.Error("mesi: invalidation must drop Shared to Invalid")
+	}
+	if mesi[core.Dirty][core.SharedDirty] {
+		t.Error("mesi: SharedDirty is not a MESI state")
+	}
+
+	wti := arcsOf("write-through-invalidate")
+	if wti[core.Exclusive][core.Dirty] || wti[core.Shared][core.Dirty] {
+		t.Error("write-through-invalidate: no state may become Dirty")
+	}
+
+	// The broken variants still derive a table (their bugs are semantic,
+	// not structural) but BadExclusiveFill's fill lands Exclusive even
+	// when shared — visible as a missing Shared fill arc only if Shared
+	// were otherwise unreachable, so just pin that the table differs from
+	// the honest one it wraps.
+	if arcsOf("bad-exclusive-fill") == firefly {
+		t.Error("bad-exclusive-fill: arc table identical to firefly — fill bug invisible to derivation would be fine, but the Invalid→Shared fill arc must differ")
+	}
+}

@@ -26,15 +26,43 @@ import (
 //	2 17 7777 1
 //
 // Each op line is: cpu addr-index data partial(0|1).
+//
+// Version 2 adds ordered schedules (model-checker counterexamples from
+// internal/verify): an optional `ordered 0|1` header line and a fifth
+// per-op field, the reference-kind constraint (0 any, 1 read, 2 write).
+// v1 files still read back exactly as before.
 
-// replayMagic is the required first line of a replay file.
-const replayMagic = "firefly-check replay v1"
+// replayMagic is the required first line of a v1 replay file;
+// replayMagicV2 the v2 equivalent.
+const (
+	replayMagic   = "firefly-check replay v1"
+	replayMagicV2 = "firefly-check replay v2"
+)
 
-// WriteReplay serializes a config and schedule.
+// needsV2 reports whether the pair uses v2-only features.
+func needsV2(cfg StressConfig, sched Schedule) bool {
+	if cfg.Ordered {
+		return true
+	}
+	for _, op := range sched {
+		if op.Kind != RefAny {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteReplay serializes a config and schedule, picking the oldest format
+// version that can represent them.
 func WriteReplay(w io.Writer, cfg StressConfig, sched Schedule) error {
 	cfg = cfg.withDefaults()
+	v2 := needsV2(cfg, sched)
 	bw := bufio.NewWriter(w)
-	fmt.Fprintln(bw, replayMagic)
+	if v2 {
+		fmt.Fprintln(bw, replayMagicV2)
+	} else {
+		fmt.Fprintln(bw, replayMagic)
+	}
 	fmt.Fprintf(bw, "protocol %s\n", cfg.Protocol)
 	fmt.Fprintf(bw, "cpus %d\n", cfg.CPUs)
 	fmt.Fprintf(bw, "cachelines %d\n", cfg.CacheLines)
@@ -42,13 +70,24 @@ func WriteReplay(w io.Writer, cfg StressConfig, sched Schedule) error {
 	fmt.Fprintf(bw, "poollines %d\n", cfg.PoolLines)
 	fmt.Fprintf(bw, "seed %d\n", cfg.Seed)
 	fmt.Fprintf(bw, "walkevery %d\n", cfg.WalkEvery)
+	if v2 {
+		ordered := 0
+		if cfg.Ordered {
+			ordered = 1
+		}
+		fmt.Fprintf(bw, "ordered %d\n", ordered)
+	}
 	fmt.Fprintf(bw, "ops %d\n", len(sched))
 	for _, op := range sched {
 		p := 0
 		if op.Partial {
 			p = 1
 		}
-		fmt.Fprintf(bw, "%d %d %d %d\n", op.CPU, op.AddrIdx, op.Data, p)
+		if v2 {
+			fmt.Fprintf(bw, "%d %d %d %d %d\n", op.CPU, op.AddrIdx, op.Data, p, op.Kind)
+		} else {
+			fmt.Fprintf(bw, "%d %d %d %d\n", op.CPU, op.AddrIdx, op.Data, p)
+		}
 	}
 	return bw.Flush()
 }
@@ -71,9 +110,10 @@ func ReadReplay(r io.Reader) (StressConfig, Schedule, error) {
 	}
 
 	first, ok := next()
-	if !ok || first != replayMagic {
-		return fail("not a replay file (want %q header)", replayMagic)
+	if !ok || (first != replayMagic && first != replayMagicV2) {
+		return fail("not a replay file (want %q or %q header)", replayMagic, replayMagicV2)
 	}
+	v2 := first == replayMagicV2
 	nOps := -1
 	for nOps < 0 {
 		line, ok := next()
@@ -103,6 +143,11 @@ func ReadReplay(r io.Reader) (StressConfig, Schedule, error) {
 			cfg.Seed = n
 		case "walkevery":
 			cfg.WalkEvery = n
+		case "ordered":
+			if !v2 {
+				return fail("ordered header requires a v2 file")
+			}
+			cfg.Ordered = n == 1
 		case "ops":
 			nOps = int(n)
 		default:
@@ -122,8 +167,12 @@ func ReadReplay(r io.Reader) (StressConfig, Schedule, error) {
 			return fail("truncated: %d ops declared, %d found", nOps, i)
 		}
 		f := strings.Fields(line)
-		if len(f) != 4 {
-			return fail("malformed op %q (want 4 fields)", line)
+		want := 4
+		if v2 {
+			want = 5
+		}
+		if len(f) != want {
+			return fail("malformed op %q (want %d fields)", line, want)
 		}
 		cpu, err1 := strconv.ParseUint(f[0], 10, 8)
 		idx, err2 := strconv.ParseUint(f[1], 10, 16)
@@ -132,12 +181,20 @@ func ReadReplay(r io.Reader) (StressConfig, Schedule, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return fail("malformed op %q", line)
 		}
-		sched = append(sched, Op{
+		op := Op{
 			CPU:     uint8(cpu),
 			AddrIdx: uint16(idx),
 			Data:    uint32(data),
 			Partial: part == 1,
-		})
+		}
+		if v2 {
+			kind, err := strconv.ParseUint(f[4], 10, 8)
+			if err != nil || kind > uint64(RefWrite) {
+				return fail("malformed op kind in %q", line)
+			}
+			op.Kind = uint8(kind)
+		}
+		sched = append(sched, op)
 	}
 	if err := sc.Err(); err != nil {
 		return StressConfig{}, nil, fmt.Errorf("replay: %w", err)

@@ -6,6 +6,7 @@ import (
 	"firefly/internal/cpu"
 	"firefly/internal/machine"
 	"firefly/internal/mbus"
+	"firefly/internal/obs"
 	"firefly/internal/sim"
 	"firefly/internal/trace"
 )
@@ -32,6 +33,14 @@ type StressConfig struct {
 	Seed uint64
 	// WalkEvery is the invariant-walk cadence in bus operations.
 	WalkEvery uint64
+	// Ordered serializes the schedule globally: op N+1 is withheld (every
+	// CPU reads its private sink) until op N has been issued and a fixed
+	// cycle gap has passed, and an op with a Kind constraint additionally
+	// waits for its CPU to draw a matching reference kind. The mode exists
+	// for concretized model-checker counterexamples (internal/verify),
+	// which need a specific global interleaving to reproduce; randomized
+	// stress leaves it off and lets the CPUs race.
+	Ordered bool
 }
 
 func (c StressConfig) withDefaults() StressConfig {
@@ -85,15 +94,28 @@ func (c StressConfig) PoolAddrs() []mbus.Addr {
 	return addrs
 }
 
+// Reference-kind constraints for ordered schedules. A free op (RefAny,
+// the randomized-stress default) is consumed by whatever reference the
+// CPU's instruction mix draws next; a constrained op waits for a matching
+// draw, so a concretized counterexample can force "CPU 2 writes word 0".
+const (
+	RefAny uint8 = iota
+	RefRead
+	RefWrite
+)
+
 // Op is one scheduled reference: which CPU's stream it belongs to, which
-// pool word it touches, and the word written if the CPU's architectural
-// mix makes the reference a write. (The CPU model decides read vs write
-// from its instruction mix; the schedule controls where it lands.)
+// pool word it touches, and the word written if the reference lands on a
+// write. (For RefAny ops the CPU model decides read vs write from its
+// instruction mix; the schedule controls where the reference lands.)
 type Op struct {
 	CPU     uint8
 	AddrIdx uint16
 	Data    uint32
 	Partial bool
+	// Kind is the reference-kind constraint (RefAny/RefRead/RefWrite),
+	// honoured only in Ordered mode.
+	Kind uint8
 }
 
 // Schedule is a full stress schedule, in global generation order.
@@ -116,22 +138,68 @@ func GenSchedule(cfg StressConfig) Schedule {
 	return sched
 }
 
+// sequencer serializes an ordered schedule globally: each op carries its
+// global schedule index, and a source may only serve op N once ops 0..N-1
+// have been issued and a settling gap of bus cycles has passed, so the
+// coherence traffic of op N-1 is long finished before op N hits the bus.
+type sequencer struct {
+	clock   *sim.Clock
+	next    int
+	gap     sim.Cycle
+	readyAt sim.Cycle
+}
+
+// orderedGap is the settling window between ordered ops. A single-word
+// miss with a dirty victim costs ~20 bus cycles; 64 leaves slack for
+// line fills and retried arbitration.
+const orderedGap = 64
+
+func (q *sequencer) turn(gi int) bool {
+	return q.next == gi && q.clock.Now() >= q.readyAt
+}
+
+func (q *sequencer) served() {
+	q.next++
+	q.readyAt = q.clock.Now() + q.gap
+}
+
 // scriptSource feeds one CPU its slice of the schedule. Every reference
 // the CPU asks for consumes one scheduled op; when the script runs out the
 // source parks the CPU on a private per-CPU sink address so trailing
-// references generate no coherence traffic.
+// references generate no coherence traffic. With a sequencer attached the
+// source also parks on the sink while waiting for its turn or for the CPU
+// to draw the op's required reference kind.
 type scriptSource struct {
 	pool []mbus.Addr
 	ops  []Op
+	gis  []int // global schedule index per op (ordered mode)
+	seq  *sequencer
 	pos  int
 	sink mbus.Addr
 }
 
-func (s *scriptSource) Next(trace.Kind) trace.Ref {
+func kindMatches(want uint8, k trace.Kind) bool {
+	switch want {
+	case RefRead:
+		return k == trace.InstrRead || k == trace.DataRead
+	case RefWrite:
+		return k == trace.DataWrite
+	default:
+		return true
+	}
+}
+
+func (s *scriptSource) Next(k trace.Kind) trace.Ref {
 	if s.pos >= len(s.ops) {
 		return trace.Ref{Addr: s.sink}
 	}
 	op := s.ops[s.pos]
+	if s.seq != nil {
+		if !s.seq.turn(s.gis[s.pos]) || !kindMatches(op.Kind, k) {
+			return trace.Ref{Addr: s.sink}
+		}
+		s.seq.served()
+	}
 	s.pos++
 	return trace.Ref{
 		Addr:    s.pool[int(op.AddrIdx)%len(s.pool)],
@@ -166,10 +234,28 @@ func (r Result) Signature() string {
 	return r.Violations[0].Kind
 }
 
+// RunOpts are optional hooks for instrumented runs. The zero value is
+// RunSchedule's behaviour.
+type RunOpts struct {
+	// Observer, when non-nil, is attached to the machine's tracer
+	// alongside the checker and sees every machine event.
+	Observer obs.Observer
+	// Quiescent, when non-nil, is called at deterministic points where
+	// the bus is idle and every cache has committed its outstanding work
+	// (periodically during the run and once after the final drain), so
+	// callers can inspect settled cache state.
+	Quiescent func(m *machine.Machine)
+}
+
 // RunSchedule executes a schedule under full checking and returns the
 // result. The run is deterministic: a given (cfg, sched) pair always
 // produces the same result.
 func RunSchedule(cfg StressConfig, sched Schedule) (Result, error) {
+	return RunScheduleOpts(cfg, sched, RunOpts{})
+}
+
+// RunScheduleOpts is RunSchedule with instrumentation hooks.
+func RunScheduleOpts(cfg StressConfig, sched Schedule, opts RunOpts) (Result, error) {
 	cfg = cfg.withDefaults()
 	proto, ok := ProtocolByName(cfg.Protocol)
 	if !ok {
@@ -188,19 +274,30 @@ func RunSchedule(cfg StressConfig, sched Schedule) (Result, error) {
 		return Result{}, err
 	}
 	checker.SetWalkEvery(cfg.WalkEvery)
+	if opts.Observer != nil {
+		m.Trace(opts.Observer)
+	}
 	pool := cfg.PoolAddrs()
 	checker.Seed(pool)
 
 	perCPU := make([][]Op, cfg.CPUs)
-	for _, op := range sched {
+	perCPUGis := make([][]int, cfg.CPUs)
+	for gi, op := range sched {
 		i := int(op.CPU) % cfg.CPUs
 		perCPU[i] = append(perCPU[i], op)
+		perCPUGis[i] = append(perCPUGis[i], gi)
+	}
+	var seq *sequencer
+	if cfg.Ordered {
+		seq = &sequencer{clock: m.Clock(), gap: orderedGap}
 	}
 	sources := make([]*scriptSource, cfg.CPUs)
 	for i := range sources {
 		sources[i] = &scriptSource{
 			pool: pool,
 			ops:  perCPU[i],
+			gis:  perCPUGis[i],
+			seq:  seq,
 			sink: 0xF00000 + mbus.Addr(i*64),
 		}
 		m.CPU(i).SetSource(sources[i])
@@ -210,7 +307,7 @@ func RunSchedule(cfg StressConfig, sched Schedule) (Result, error) {
 	// (divergent snoop supplies panic in mbus) before the checker sees a
 	// violation; fold that into the result so shrinking and replay treat
 	// it like any other failure.
-	panicked := run(m, checker, sources, cfg, len(sched))
+	panicked := run(m, checker, sources, cfg, len(sched), opts)
 
 	res := Result{
 		Checked:    checker.Checked(),
@@ -226,7 +323,7 @@ func RunSchedule(cfg StressConfig, sched Schedule) (Result, error) {
 
 // run steps the machine through the schedule and the drain, converting a
 // machine panic into a violation.
-func run(m *machine.Machine, checker *Checker, sources []*scriptSource, cfg StressConfig, nOps int) (panicked *Violation) {
+func run(m *machine.Machine, checker *Checker, sources []*scriptSource, cfg StressConfig, nOps int, opts RunOpts) (panicked *Violation) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = &Violation{
@@ -238,13 +335,21 @@ func run(m *machine.Machine, checker *Checker, sources []*scriptSource, cfg Stre
 	}()
 	// Phase 1: run until every CPU has consumed its script (or the
 	// checker trips). The cycle bound is generous: the MicroVAX issues a
-	// reference every couple of cycles even when every one misses.
+	// reference every couple of cycles even when every one misses. An
+	// ordered run spends the settling gap (and kind-matching sink
+	// references) between every op, so its budget scales with the gap.
 	maxCycles := uint64(nOps)*64 + 20000
+	if cfg.Ordered {
+		maxCycles = uint64(nOps)*16*orderedGap + 20000
+	}
 	running := true
 	for cyc := uint64(0); cyc < maxCycles && running; cyc++ {
 		m.Step()
 		if !checker.Ok() {
 			return nil
+		}
+		if opts.Quiescent != nil && cyc%128 == 127 && drained(m) {
+			opts.Quiescent(m)
 		}
 		running = false
 		for _, s := range sources {
@@ -261,6 +366,9 @@ func run(m *machine.Machine, checker *Checker, sources []*scriptSource, cfg Stre
 	}
 	for cyc := 0; cyc < 4000 && !drained(m); cyc++ {
 		m.Step()
+	}
+	if opts.Quiescent != nil && drained(m) {
+		opts.Quiescent(m)
 	}
 	checker.Walk()
 	return nil

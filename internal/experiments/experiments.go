@@ -86,6 +86,7 @@ func All() []Runner {
 		{"onchipdata", OnChipDataAblation, "CVAX on-chip data-cache ablation"},
 		{"policysweep", PolicySweep, "bus arbitration x dispatch policy fairness sweep"},
 		{"coherencecheck", CoherenceCheck, "randomized coherence stress under the checking oracle"},
+		{"verify", VerifyProtocols, "exhaustive small-model verification of the protocol suite"},
 		{"faultsweep", FaultSweep, "fault-injection sweep with recovery, oracle attached"},
 	}
 }

@@ -1,0 +1,112 @@
+package verify
+
+import (
+	"fmt"
+
+	"firefly/internal/check"
+)
+
+// Concretization targets. The stress pool's second half aliases the
+// first half's cache sets; with the default geometry (16 lines, 1-word
+// lines) pool lines 2 and 3 share a cache set, while the per-CPU sink
+// addresses all land in set 0 — so a schedule working on pool line 2
+// never has its copies disturbed by sink traffic, and a read of pool
+// line 3 deterministically victimizes pool line 2.
+const (
+	targetAddrIdx = 2
+	aliasAddrIdx  = 3
+)
+
+// Concretize turns an exact-mode counterexample into an ordered stress
+// schedule that walks the cycle simulator through the same rule
+// sequence: one kind-constrained op per abstract step, serialized with a
+// settling gap so each step's coherence traffic completes before the
+// next begins. The runtime oracle (walking after every bus operation)
+// then observes the same violation class the abstract checker proved
+// reachable. The returned pair round-trips through the replay format.
+func Concretize(m *Model, ce *Counterexample) (check.StressConfig, check.Schedule, error) {
+	if ce == nil {
+		return check.StressConfig{}, nil, fmt.Errorf("verify: no counterexample to concretize")
+	}
+	if ce.K < 2 {
+		return check.StressConfig{}, nil, fmt.Errorf("verify: counterexample needs an exact cache count, got k=%d", ce.K)
+	}
+	if len(ce.Path) == 0 {
+		return check.StressConfig{}, nil, fmt.Errorf("verify: counterexample has no path")
+	}
+
+	cfg := check.StressConfig{
+		Protocol:   m.Proto,
+		CPUs:       ce.K,
+		CacheLines: 16,
+		LineWords:  1,
+		PoolLines:  8,
+		Seed:       1,
+		WalkEvery:  1,
+		Ordered:    true,
+	}
+
+	// Mirror the abstract path on an explicit cache→slot assignment;
+	// exact-mode counts are literal, so an actor for each step always
+	// exists if the path is well-formed.
+	slots := make([]uint8, ce.K) // all start Invalid
+	var sched check.Schedule
+	data := uint32(0x1000)
+
+	direct := false
+	if p, ok := check.ProtocolByName(m.Proto); ok {
+		direct = p.WriteMissDirect()
+	}
+
+	for i, step := range ce.Path {
+		r := step.Rule
+		actor := -1
+		for ci, s := range slots {
+			if s == r.From {
+				actor = ci
+				break
+			}
+		}
+		if actor < 0 {
+			return check.StressConfig{}, nil, fmt.Errorf("verify: step %d (%s): no cache in slot %s", i, r.Name, slotName(r.From))
+		}
+
+		op := check.Op{CPU: uint8(actor), AddrIdx: targetAddrIdx}
+		switch r.Event {
+		case EvReadMiss:
+			op.Kind = check.RefRead
+		case EvWriteHit, EvWriteMissDirect:
+			op.Kind = check.RefWrite
+			op.Data = data
+			data++
+		case EvWriteMissFill:
+			op.Kind = check.RefWrite
+			op.Data = data
+			data++
+			// For protocols with the direct write-through optimization a
+			// full-longword write miss would take the direct path; a
+			// partial write forces the fill-then-write sequence the rule
+			// models.
+			op.Partial = direct
+		case EvEvict:
+			// Touching the aliasing pool line victimizes the target line
+			// from the actor's direct-mapped set.
+			op.Kind = check.RefRead
+			op.AddrIdx = aliasAddrIdx
+		default:
+			return check.StressConfig{}, nil, fmt.Errorf("verify: step %d: unknown event %v", i, r.Event)
+		}
+		sched = append(sched, op)
+
+		if r.Snoops {
+			for ci := range slots {
+				if ci != actor {
+					slots[ci] = r.Move[slots[ci]]
+				}
+			}
+		}
+		slots[actor] = r.To
+	}
+	cfg.Ops = len(sched)
+	return cfg, sched, nil
+}

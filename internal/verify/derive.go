@@ -1,0 +1,357 @@
+package verify
+
+import (
+	"fmt"
+
+	"firefly/internal/check"
+	"firefly/internal/core"
+	"firefly/internal/mbus"
+)
+
+// Derive builds the abstract rule table for a protocol mechanically from
+// the same source the runtime checker uses: the protocol's own methods
+// (via the checking profile) composed with the cache controller's bus
+// mechanics. Nothing here is hand-maintained per protocol — change a
+// Snoop or AfterFill rule in the simulator and the abstract model
+// changes with it, which is the whole point of cross-validation.
+//
+// Abstraction choices (documented in DESIGN.md "Exhaustive
+// verification"): each rule is one complete, quiescent memory operation;
+// in-flight bus interleavings are not modelled. MShared is the OR of the
+// other holders' assertions, which every protocol in the suite raises
+// from every valid state, so "shared" guards become "some other valid
+// copy exists". Fill data comes from a supplying snooper when one
+// exists, else from main storage, whose staleness bit then decides the
+// new copy's freshness.
+func Derive(prof check.Profile) *Model {
+	p := prof.Proto
+	m := &Model{
+		Proto:              p.Name(),
+		Legal:              prof.Legal,
+		CleanMatchesMemory: prof.CleanMatchesMemory,
+	}
+	d := deriver{p: p, m: m}
+
+	var validStates []core.State
+	for _, s := range prof.LegalStates() {
+		if s.Valid() {
+			validStates = append(validStates, s)
+		}
+	}
+
+	d.readMissRules(validStates)
+	d.writeMissRules(validStates)
+	d.writeHitRules(validStates)
+	d.evictRules(validStates)
+	return m
+}
+
+type deriver struct {
+	p core.Protocol
+	m *Model
+}
+
+func (d *deriver) add(r Rule) { d.m.Rules = append(d.m.Rules, r) }
+
+// moveOther computes where every non-actor slot lands when op appears on
+// the bus. valueChanges marks ops that install a new current value (CPU
+// writes): copies that do not absorb the data go stale. dataFresh is the
+// freshness of the data the op carries (true for a fresh CPU write,
+// the victim's own freshness for a write-back).
+func (d *deriver) moveOther(op mbus.OpKind, valueChanges, dataFresh bool) [numSlots]uint8 {
+	var mv [numSlots]uint8
+	for s := uint8(1); s < numSlots; s++ {
+		st, stale := stateOf(s), slotStale(s)
+		a := d.p.Snoop(st, op)
+		if a.Next == core.Invalid {
+			mv[s] = slotInvalid
+			continue
+		}
+		takes := a.TakeData && op.CarriesData()
+		next := stale
+		if takes {
+			next = !dataFresh
+		} else if valueChanges {
+			next = true
+		}
+		mv[s] = slotOf(a.Next, next)
+	}
+	return mv
+}
+
+// identityMove leaves every slot alone.
+func identityMove() [numSlots]uint8 {
+	var mv [numSlots]uint8
+	for s := uint8(0); s < numSlots; s++ {
+		mv[s] = s
+	}
+	return mv
+}
+
+// restaleMove models a local (bus-invisible) write: every other valid
+// copy keeps its state but its value is now old.
+func restaleMove() [numSlots]uint8 {
+	var mv [numSlots]uint8
+	for s := uint8(1); s < numSlots; s++ {
+		mv[s] = slotOf(stateOf(s), true)
+	}
+	return mv
+}
+
+// compose chains two slot maps: first a, then b.
+func compose(a, b [numSlots]uint8) [numSlots]uint8 {
+	var out [numSlots]uint8
+	for s := uint8(0); s < numSlots; s++ {
+		out[s] = b[a[s]]
+	}
+	return out
+}
+
+// supplierMask is the set of valid slots whose snoop response supplies
+// data for op (inhibiting main storage).
+func (d *deriver) supplierMask(op mbus.OpKind) uint16 {
+	var mask uint16
+	for s := uint8(1); s < numSlots; s++ {
+		if d.p.Snoop(stateOf(s), op).Supply {
+			mask |= 1 << s
+		}
+	}
+	return mask
+}
+
+// readMissRules: a cache with no copy fills the line.
+func (d *deriver) readMissRules(valid []core.State) {
+	op := d.p.FillOp(false)
+	mv := d.moveOther(op, false, true)
+
+	// No other holder: MShared clear, main storage supplies. The new
+	// copy inherits memory's freshness.
+	for _, memStale := range []bool{false, true} {
+		guard, toStale := MemMustFresh, false
+		if memStale {
+			guard, toStale = MemMustStale, true
+		}
+		d.add(Rule{
+			Name:     fmt.Sprintf("read-miss/private/mem-%s", freshWord(!toStale)),
+			Event:    EvReadMiss,
+			From:     slotInvalid,
+			To:       slotOf(d.p.AfterFill(false, false), toStale),
+			Conds:    []Cond{{Mask: maskAllValid(), NonEmpty: false}},
+			Snoops:   true,
+			Move:     mv,
+			MemGuard: guard,
+		})
+	}
+
+	// Shared, with a supplying holder: one variant per supplier slot.
+	// The filled copy inherits the supplier's freshness; a dirty
+	// supplier may also reflect the data into memory (MemWrite).
+	sup := d.supplierMask(op)
+	for s := uint8(1); s < numSlots; s++ {
+		if sup&(1<<s) == 0 {
+			continue
+		}
+		a := d.p.Snoop(stateOf(s), op)
+		mem := MemKeep
+		if a.MemWrite {
+			if slotStale(s) {
+				mem = MemToStale
+			} else {
+				mem = MemToFresh
+			}
+		}
+		d.add(Rule{
+			Name:   fmt.Sprintf("read-miss/shared/supplier-%s", slotName(s)),
+			Event:  EvReadMiss,
+			From:   slotInvalid,
+			To:     slotOf(d.p.AfterFill(false, true), slotStale(s)),
+			Conds:  []Cond{{Mask: 1 << s, NonEmpty: true}},
+			Snoops: true,
+			Move:   mv,
+			Mem:    mem,
+		})
+	}
+
+	// Shared, but no holder supplies (clean holders in protocols where
+	// only owners supply): main storage sources the fill.
+	if sup != maskAllValid() {
+		for _, memStale := range []bool{false, true} {
+			guard, toStale := MemMustFresh, false
+			if memStale {
+				guard, toStale = MemMustStale, true
+			}
+			d.add(Rule{
+				Name:  fmt.Sprintf("read-miss/shared/mem-%s", freshWord(!toStale)),
+				Event: EvReadMiss,
+				From:  slotInvalid,
+				To:    slotOf(d.p.AfterFill(false, true), toStale),
+				Conds: []Cond{
+					{Mask: maskAllValid(), NonEmpty: true},
+					{Mask: sup, NonEmpty: false},
+				},
+				Snoops:   true,
+				Move:     mv,
+				MemGuard: guard,
+			})
+		}
+	}
+}
+
+// writeMissRules: the direct write-through optimization (when the
+// protocol has it) and the fill-then-write path (always reachable: the
+// controller falls back to it for partial writes and multi-word lines).
+func (d *deriver) writeMissRules(valid []core.State) {
+	if d.p.WriteMissDirect() {
+		mv := d.moveOther(mbus.MWrite, true, true)
+		for _, shared := range []bool{false, true} {
+			d.add(Rule{
+				Name:   fmt.Sprintf("write-miss-direct/%s", sharedWord(shared)),
+				Event:  EvWriteMissDirect,
+				From:   slotInvalid,
+				To:     slotOf(d.p.AfterDirectWriteMiss(shared), false),
+				Conds:  []Cond{{Mask: maskAllValid(), NonEmpty: shared}},
+				Snoops: true,
+				Move:   mv,
+				Mem:    MemToFresh, // the write-through updates main storage
+			})
+		}
+	}
+
+	fillOp := d.p.FillOp(true)
+	for _, shared1 := range []bool{false, true} {
+		mFill := d.moveOther(fillOp, false, true)
+		s1 := d.p.AfterFill(true, shared1)
+		cond1 := Cond{Mask: maskAllValid(), NonEmpty: shared1}
+		op2, needBus := d.p.WriteHitOp(s1)
+		if !needBus {
+			// Fill, then the write completes locally: the new value is
+			// invisible, so every surviving copy elsewhere goes stale.
+			d.add(Rule{
+				Name:   fmt.Sprintf("write-miss-fill/%s/local", sharedWord(shared1)),
+				Event:  EvWriteMissFill,
+				From:   slotInvalid,
+				To:     slotOf(d.p.AfterWriteHit(s1, false, false), false),
+				Conds:  []Cond{cond1},
+				Snoops: true,
+				Move:   compose(mFill, restaleMove()),
+				Mem:    MemToStale,
+			})
+			continue
+		}
+		// Fill, then a bus write. The second op's MShared response is
+		// decided by the holders that survive the fill snoop, which is a
+		// pre-state guard: some pre-slot t must be occupied whose fill
+		// move keeps it valid.
+		var survivors uint16
+		for t := uint8(1); t < numSlots; t++ {
+			if mFill[t] != slotInvalid {
+				survivors |= 1 << t
+			}
+		}
+		for _, shared2 := range []bool{false, true} {
+			mem := MemToStale
+			if op2.WritesMemory() {
+				mem = MemToFresh
+			}
+			d.add(Rule{
+				Name: fmt.Sprintf("write-miss-fill/%s/%s/%s",
+					sharedWord(shared1), op2, sharedWord(shared2)),
+				Event:  EvWriteMissFill,
+				From:   slotInvalid,
+				To:     slotOf(d.p.AfterWriteHit(s1, true, shared2), false),
+				Conds:  []Cond{cond1, {Mask: survivors, NonEmpty: shared2}},
+				Snoops: true,
+				Move:   compose(mFill, d.moveOther(op2, true, true)),
+				Mem:    mem,
+			})
+		}
+	}
+}
+
+// writeHitRules: a holder's CPU writes the line. The writer always ends
+// fresh — its write defines the line's new current value.
+func (d *deriver) writeHitRules(valid []core.State) {
+	for _, s := range valid {
+		for _, stale := range []bool{false, true} {
+			from := slotOf(s, stale)
+			op, needBus := d.p.WriteHitOp(s)
+			if !needBus {
+				d.add(Rule{
+					Name:   fmt.Sprintf("write-hit/%s/local", slotName(from)),
+					Event:  EvWriteHit,
+					From:   from,
+					To:     slotOf(d.p.AfterWriteHit(s, false, false), false),
+					Snoops: true,
+					Move:   restaleMove(),
+					Mem:    MemToStale,
+				})
+				continue
+			}
+			for _, shared := range []bool{false, true} {
+				mem := MemToStale
+				if op.WritesMemory() {
+					mem = MemToFresh
+				}
+				d.add(Rule{
+					Name: fmt.Sprintf("write-hit/%s/%s/%s",
+						slotName(from), op, sharedWord(shared)),
+					Event:  EvWriteHit,
+					From:   from,
+					To:     slotOf(d.p.AfterWriteHit(s, true, shared), false),
+					Conds:  []Cond{{Mask: maskAllValid(), NonEmpty: shared}},
+					Snoops: true,
+					Move:   d.moveOther(op, true, true),
+					Mem:    mem,
+				})
+			}
+		}
+	}
+}
+
+// evictRules: replacement victimizes the line. Clean victims drop
+// silently; write-back victims put their value — at their own freshness
+// — on the bus, where other holders and main storage absorb it.
+func (d *deriver) evictRules(valid []core.State) {
+	for _, s := range valid {
+		for _, stale := range []bool{false, true} {
+			from := slotOf(s, stale)
+			if !d.p.NeedsWriteBack(s) {
+				d.add(Rule{
+					Name:  fmt.Sprintf("evict/%s/drop", slotName(from)),
+					Event: EvEvict,
+					From:  from,
+					To:    slotInvalid,
+					Move:  identityMove(),
+				})
+				continue
+			}
+			mem := MemToFresh
+			if stale {
+				mem = MemToStale
+			}
+			d.add(Rule{
+				Name:   fmt.Sprintf("evict/%s/write-back", slotName(from)),
+				Event:  EvEvict,
+				From:   from,
+				To:     slotInvalid,
+				Snoops: true,
+				Move:   d.moveOther(mbus.MWrite, false, !stale),
+				Mem:    mem,
+			})
+		}
+	}
+}
+
+func sharedWord(shared bool) string {
+	if shared {
+		return "shared"
+	}
+	return "private"
+}
+
+func freshWord(fresh bool) string {
+	if fresh {
+		return "fresh"
+	}
+	return "stale"
+}

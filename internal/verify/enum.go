@@ -1,0 +1,330 @@
+package verify
+
+import (
+	"fmt"
+
+	"firefly/internal/core"
+)
+
+// Space is the result of exhaustively enumerating a model's reachable
+// configurations, either for an exact cache count K or symbolically
+// (K == 0: an unbounded population, counts drawn from {0,1,2,ω}).
+type Space struct {
+	// K is the cache count; 0 means the symbolic ω mode.
+	K int
+	// States is the number of reachable configurations.
+	States int
+	// ManyStates counts reachable configurations containing an ω bucket
+	// in a valid slot (symbolic mode only).
+	ManyStates int
+	// Diameter is the maximum BFS depth over reachable configurations.
+	Diameter int
+	// Transitions counts explored config→config edges.
+	Transitions int
+	// Arcs[from][to] marks coherence-state transitions some reachable
+	// rule application performs on some cache (actor or snooper). This
+	// is the set the cycle simulator's observed transitions are
+	// validated against.
+	Arcs [core.NumStates][core.NumStates]bool
+	// Occupied[s] marks states some cache holds in some reachable
+	// configuration.
+	Occupied [core.NumStates]bool
+	// Reachable is the full set of reachable configurations (these
+	// spaces are small: thousands of configs at most).
+	Reachable map[Config]bool
+	// Counterexample is the shortest path to an unsafe configuration,
+	// or nil when every reachable configuration is safe.
+	Counterexample *Counterexample
+}
+
+// StateProjectionReachable reports whether some reachable configuration
+// holds exactly counts[s] copies in each coherence state, with any
+// freshness split and either memory bit. It lets a runtime harness check
+// an observed quiescent line population against the model without
+// observing data freshness.
+func (sp *Space) StateProjectionReachable(counts [core.NumStates]int) bool {
+outer:
+	for cfg := range sp.Reachable {
+		for s := core.State(0); s < core.NumStates; s++ {
+			var n Count
+			if s == core.Invalid {
+				n = cfg.N[slotInvalid]
+			} else {
+				n = cadd(cfg.N[slotOf(s, false)], cfg.N[slotOf(s, true)])
+			}
+			if sp.K == 0 && s == core.Invalid {
+				continue // unbounded pool: any invalid count matches
+			}
+			if n == Many {
+				if counts[s] < manyCutoff {
+					continue outer
+				}
+			} else if int(n) != counts[s] {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Safe reports whether enumeration proved the invariants.
+func (sp *Space) Safe() bool { return sp.Counterexample == nil }
+
+// Step is one rule application on the counterexample path.
+type Step struct {
+	Rule      Rule
+	Pre, Post Config
+}
+
+// Counterexample is a shortest rule sequence from the initial
+// configuration to an unsafe one.
+type Counterexample struct {
+	// Kind is the violated invariant, named like the runtime oracle's
+	// Violation kinds.
+	Kind string
+	// K is the cache count of the space the path was found in (0 for
+	// symbolic).
+	K int
+	// Path runs from the initial configuration to the unsafe one.
+	Path []Step
+}
+
+func (ce *Counterexample) String() string {
+	s := fmt.Sprintf("unsafe (%s) in %d steps:", ce.Kind, len(ce.Path))
+	for _, st := range ce.Path {
+		s += fmt.Sprintf("\n  %s  ⇒  %s", st.Rule, st.Post)
+	}
+	return s
+}
+
+// exploreLimit bounds the configurations visited, as a backstop for
+// fuzz-mutated rule tables. Real protocols stay far below it: exact
+// spaces are multisets of k caches over 9 slots, symbolic ones draw
+// from {0,1,2,ω}^8.
+const exploreLimit = 1 << 20
+
+// Initial returns the starting configuration: every cache Invalid, main
+// storage current.
+func Initial(k int) Config {
+	var c Config
+	if k == 0 {
+		c.N[slotInvalid] = Many
+	} else {
+		c.N[slotInvalid] = Count(k)
+	}
+	return c
+}
+
+// Explore enumerates every configuration reachable from Initial(k) under
+// the model's rules, stopping early with a shortest counterexample if an
+// unsafe configuration is reachable. k == 0 selects symbolic mode.
+func Explore(m *Model, k int) *Space {
+	symbolic := k == 0
+	sp := &Space{K: k, Reachable: map[Config]bool{}}
+	init := Initial(k)
+
+	type edge struct {
+		prev Config
+		rule int
+	}
+	parent := map[Config]edge{}
+	depth := map[Config]int{init: 0}
+	queue := []Config{init}
+
+	buildCE := func(c Config, kind string) *Counterexample {
+		ce := &Counterexample{Kind: kind, K: k}
+		for c != init {
+			e := parent[c]
+			ce.Path = append(ce.Path, Step{Rule: m.Rules[e.rule], Pre: e.prev, Post: c})
+			c = e.prev
+		}
+		for i, j := 0, len(ce.Path)-1; i < j; i, j = i+1, j-1 {
+			ce.Path[i], ce.Path[j] = ce.Path[j], ce.Path[i]
+		}
+		return ce
+	}
+
+	note := func(c Config) {
+		sp.States++
+		sp.Reachable[c] = true
+		many := false
+		for s := uint8(0); s < numSlots; s++ {
+			if c.N[s] > 0 {
+				sp.Occupied[stateOf(s)] = true
+			}
+			if s != slotInvalid && c.N[s] == Many {
+				many = true
+			}
+		}
+		if many {
+			sp.ManyStates++
+		}
+	}
+
+	if kind, bad := m.Unsafe(init); bad {
+		sp.States = 1
+		sp.Counterexample = &Counterexample{Kind: kind, K: k}
+		return sp
+	}
+	note(init)
+
+	for len(queue) > 0 {
+		cfg := queue[0]
+		queue = queue[1:]
+		d := depth[cfg]
+		for ri := range m.Rules {
+			for _, succ := range successors(&m.Rules[ri], cfg, symbolic) {
+				sp.Transitions++
+				recordArcs(sp, &m.Rules[ri], cfg)
+				if _, seen := depth[succ]; seen {
+					continue
+				}
+				depth[succ] = d + 1
+				parent[succ] = edge{prev: cfg, rule: ri}
+				if d+1 > sp.Diameter {
+					sp.Diameter = d + 1
+				}
+				if kind, bad := m.Unsafe(succ); bad {
+					note(succ)
+					sp.Counterexample = buildCE(succ, kind)
+					return sp
+				}
+				note(succ)
+				if sp.States >= exploreLimit {
+					// Backstop for pathological (fuzzed) rule tables;
+					// report the truncation as an unsafe verdict with no
+					// path rather than looping forever.
+					sp.Counterexample = &Counterexample{Kind: "state-space-exceeded", K: k}
+					return sp
+				}
+				queue = append(queue, succ)
+			}
+		}
+	}
+	return sp
+}
+
+// recordArcs accumulates the coherence-state arcs one rule application
+// performs from configuration cfg: the actor's From→To, and for
+// snooping rules each occupied slot's move. Only state changes are
+// recorded — the simulator emits transition events only on change.
+func recordArcs(sp *Space, r *Rule, cfg Config) {
+	if af, at := stateOf(r.From), stateOf(r.To); af != at {
+		sp.Arcs[af][at] = true
+	}
+	if !r.Snoops {
+		return
+	}
+	for s := uint8(1); s < numSlots; s++ {
+		n := cfg.N[s]
+		if s == r.From {
+			// The actor has left this slot; a second occupant is still
+			// a snooper.
+			if n == 0 || n == 1 {
+				continue
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if sf, st := stateOf(s), stateOf(r.Move[s]); sf != st {
+			sp.Arcs[sf][st] = true
+		}
+	}
+}
+
+// successors applies one rule to a configuration, returning every
+// successor (the symbolic domain's ω-decrement branches). An empty
+// result means the rule does not fire.
+func successors(r *Rule, cfg Config, symbolic bool) []Config {
+	if cfg.N[r.From] == 0 {
+		return nil
+	}
+	var out []Config
+	for _, base := range decSlot(cfg, r.From, symbolic) {
+		ok := true
+		for _, cond := range r.Conds {
+			if (base.sumSlots(cond.Mask) > 0) != cond.NonEmpty {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		switch r.MemGuard {
+		case MemMustFresh:
+			if base.MemStale {
+				continue
+			}
+		case MemMustStale:
+			if !base.MemStale {
+				continue
+			}
+		}
+		next := base
+		if r.Snoops {
+			var moved [numSlots]Count
+			moved[slotInvalid] = base.N[slotInvalid]
+			for s := uint8(1); s < numSlots; s++ {
+				moved[r.Move[s]] = cadd(moved[r.Move[s]], base.N[s])
+			}
+			next.N = moved
+		}
+		next = incSlot(next, r.To, symbolic)
+		switch r.Mem {
+		case MemToFresh:
+			next.MemStale = false
+		case MemToStale:
+			next.MemStale = true
+		}
+		out = append(out, canon(next, symbolic))
+	}
+	return out
+}
+
+// decSlot removes the acting cache from its slot. In symbolic mode the
+// Invalid slot is an unbounded pool (pegged at ω), and decrementing a
+// valid ω bucket soundly branches: the remaining population is either
+// still ω or exactly manyCutoff-1.
+func decSlot(cfg Config, s uint8, symbolic bool) []Config {
+	if symbolic && s == slotInvalid {
+		return []Config{cfg}
+	}
+	n := cfg.N[s]
+	if n == Many {
+		a, b := cfg, cfg
+		a.N[s] = manyCutoff - 1
+		return []Config{a, b}
+	}
+	cfg.N[s] = n - 1
+	return []Config{cfg}
+}
+
+// incSlot adds the acting cache to its destination slot.
+func incSlot(cfg Config, s uint8, symbolic bool) Config {
+	if symbolic && s == slotInvalid {
+		return cfg
+	}
+	cfg.N[s] = cadd(cfg.N[s], 1)
+	if symbolic && cfg.N[s] >= manyCutoff && cfg.N[s] != Many {
+		cfg.N[s] = Many
+	}
+	return cfg
+}
+
+// canon folds symbolic counts at or above the cutoff into ω and pegs the
+// symbolic Invalid pool, keeping the configuration space finite.
+func canon(cfg Config, symbolic bool) Config {
+	if !symbolic {
+		return cfg
+	}
+	cfg.N[slotInvalid] = Many
+	for s := uint8(1); s < numSlots; s++ {
+		if cfg.N[s] != Many && cfg.N[s] >= manyCutoff {
+			cfg.N[s] = Many
+		}
+	}
+	return cfg
+}

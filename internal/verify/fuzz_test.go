@@ -1,0 +1,89 @@
+package verify
+
+import (
+	"testing"
+
+	"firefly/internal/check"
+)
+
+// FuzzVerifyRules mutates derived rule tables and demands the checker
+// stays total: exploration terminates (the exploreLimit backstop turns
+// runaway tables into a "state-space-exceeded" verdict), and any
+// counterexample it reports is independently replayable step by step via
+// validateCounterexample. This guards the enumerator against the exact
+// class of malformed tables the fuzzer for broken protocols would feed
+// it — rules moving counts to bogus slots, inverted guards, wrong memory
+// effects.
+func FuzzVerifyRules(f *testing.F) {
+	protos := append(ShippedProtocolNames(), check.BrokenProtocolNames()...)
+
+	// Seed corpus: identity (no mutation) per protocol, plus a few
+	// targeted mutations — destination rewrites, guard flips, memory
+	// effect changes.
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(1), uint8(3), uint8(7), uint8(2))
+	f.Add(uint8(2), uint8(9), uint8(1), uint8(5))
+	f.Add(uint8(3), uint8(14), uint8(4), uint8(1))
+	f.Add(uint8(4), uint8(2), uint8(2), uint8(3))
+	f.Add(uint8(5), uint8(11), uint8(6), uint8(0))
+	f.Add(uint8(6), uint8(5), uint8(3), uint8(4))
+	f.Add(uint8(7), uint8(8), uint8(5), uint8(6))
+
+	f.Fuzz(func(t *testing.T, protoSel, ruleSel, fieldSel, valSel uint8) {
+		name := protos[int(protoSel)%len(protos)]
+		proto, ok := check.ProtocolByName(name)
+		if !ok {
+			t.Fatalf("unknown protocol %q", name)
+		}
+		prof, ok := check.ProfileFor(proto)
+		if !ok {
+			t.Fatalf("no profile for %q", name)
+		}
+		m := Derive(prof)
+		if len(m.Rules) == 0 {
+			t.Fatal("empty rule table")
+		}
+
+		// Mutate one rule in place. Every mutation keeps slot indices in
+		// range, so the table stays structurally valid — semantically it
+		// can be arbitrary nonsense, which is the point.
+		r := &m.Rules[int(ruleSel)%len(m.Rules)]
+		switch fieldSel % 6 {
+		case 0: // rewrite destination slot
+			r.To = valSel % numSlots
+		case 1: // rewrite a snoop move target
+			r.Snoops = true
+			r.Move[1+valSel%(numSlots-1)] = valSel % numSlots
+		case 2: // change the memory effect
+			r.Mem = MemEffect(valSel % 3)
+		case 3: // change the memory guard
+			r.MemGuard = MemGuard(valSel % 3)
+		case 4: // flip a guard polarity
+			if len(r.Conds) > 0 {
+				r.Conds[int(valSel)%len(r.Conds)].NonEmpty =
+					!r.Conds[int(valSel)%len(r.Conds)].NonEmpty
+			}
+		case 5: // rewrite the acting slot
+			r.From = 1 + valSel%(numSlots-1)
+		}
+
+		for _, k := range []int{2, 3, 0} {
+			sp := Explore(m, k)
+			if sp.States == 0 {
+				t.Fatalf("%s k=%d: zero states explored", name, k)
+			}
+			ce := sp.Counterexample
+			if ce == nil || ce.Kind == "state-space-exceeded" {
+				continue
+			}
+			if len(ce.Path) == 0 {
+				// Only a genuinely unsafe initial configuration may have
+				// an empty path, and Initial is always safe.
+				t.Fatalf("%s k=%d: counterexample with empty path: %v", name, k, ce)
+			}
+			if err := validateCounterexample(m, k, ce); err != nil {
+				t.Fatalf("%s k=%d: counterexample does not replay: %v\n%s", name, k, err, ce)
+			}
+		}
+	})
+}

@@ -1,0 +1,321 @@
+// Package verify is the exhaustive verification layer: it abstracts each
+// coherence protocol into guarded counter-transition rules over the caches
+// holding one memory line, enumerates every reachable abstract state, and
+// proves the safety invariants the runtime oracle (internal/check) can
+// only test on executions that happen to run.
+//
+// The abstraction is a counters world extended with data freshness. A
+// configuration counts, for one line, how many caches hold it in each
+// (coherence state, fresh|stale) slot, plus one bit recording whether
+// main storage is stale. "Fresh" means the copy equals the most recently
+// written value of the line; a write creates a new current value, so
+// every copy that does not absorb the write goes stale. The freshness
+// dimension is what lets the model catch data-path bugs (a sharer that
+// asserts MShared but drops the update) that pure state counting cannot
+// see.
+//
+// Rules are plain data — guards over slot counts plus slot moves — so
+// they can be derived mechanically from a protocol's methods (derive.go),
+// mutated by the fuzzer, and replayed step by step when a counterexample
+// is concretized into a simulator schedule (concretize.go).
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"firefly/internal/core"
+)
+
+// Slot layout: slot 0 is Invalid; each valid coherence state owns a
+// fresh slot and a stale slot.
+const (
+	slotInvalid = 0
+	// numSlots = 1 + 2*(NumStates-1): Invalid plus fresh/stale per valid
+	// state.
+	numSlots = 1 + 2*(core.NumStates-1)
+)
+
+// slotOf maps a coherence state and staleness to its slot.
+func slotOf(s core.State, stale bool) uint8 {
+	if s == core.Invalid {
+		return slotInvalid
+	}
+	b := uint8(0)
+	if stale {
+		b = 1
+	}
+	return 1 + 2*(uint8(s)-1) + b
+}
+
+// stateOf is the inverse of slotOf's state component.
+func stateOf(slot uint8) core.State {
+	if slot == slotInvalid {
+		return core.Invalid
+	}
+	return core.State(1 + (slot-1)/2)
+}
+
+// slotStale reports whether the slot is a stale-copy slot.
+func slotStale(slot uint8) bool {
+	return slot != slotInvalid && (slot-1)%2 == 1
+}
+
+func slotName(slot uint8) string {
+	n := stateOf(slot).String()
+	if slot == slotInvalid {
+		return "I"
+	}
+	short := map[core.State]string{
+		core.Exclusive: "E", core.Dirty: "D",
+		core.Shared: "S", core.SharedDirty: "SD",
+	}[stateOf(slot)]
+	if short == "" {
+		short = n
+	}
+	if slotStale(slot) {
+		return short + "~"
+	}
+	return short
+}
+
+// Count is a saturating cache count. In exact mode (finite k) counts are
+// literal. In symbolic mode the domain is {0, 1, 2, Many} where Many
+// means "at least manyCutoff": increments saturate, and decrementing
+// Many soundly branches to both manyCutoff-1 and Many (enum.go).
+type Count uint8
+
+// Many is the symbolic "at least manyCutoff" bucket.
+const Many Count = 0xFF
+
+// manyCutoff is the smallest concrete count folded into Many.
+const manyCutoff = 3
+
+func (c Count) String() string {
+	if c == Many {
+		return "ω"
+	}
+	return fmt.Sprintf("%d", uint8(c))
+}
+
+// Config is one abstract state of a single memory line: how many caches
+// hold it in each slot, and whether main storage is stale with respect
+// to the line's current value. It is comparable, so it keys the
+// reachability sets directly.
+type Config struct {
+	N        [numSlots]Count
+	MemStale bool
+}
+
+func (c Config) String() string {
+	var b strings.Builder
+	for s := uint8(0); s < numSlots; s++ {
+		if c.N[s] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%s", slotName(s), c.N[s])
+	}
+	if b.Len() == 0 {
+		b.WriteString("empty")
+	}
+	if c.MemStale {
+		b.WriteString(" mem:stale")
+	}
+	return b.String()
+}
+
+// Event classifies a rule by the memory operation that fires it; the
+// concretizer uses it to emit the schedule op reproducing the step.
+type Event uint8
+
+const (
+	// EvReadMiss: a cache with no copy performs a read, filling from a
+	// supplying cache or main storage.
+	EvReadMiss Event = iota
+	// EvWriteHit: a cache holding the line performs a CPU write.
+	EvWriteHit
+	// EvWriteMissDirect: the Firefly single write-through optimization
+	// for full-longword write misses.
+	EvWriteMissDirect
+	// EvWriteMissFill: a write miss served by fill-then-write (the only
+	// write-miss path for protocols without WriteMissDirect; the partial
+	// write path otherwise).
+	EvWriteMissFill
+	// EvEvict: a replacement victimizes the line (silent drop when
+	// clean, bus write-back when the protocol requires it).
+	EvEvict
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvReadMiss:
+		return "read-miss"
+	case EvWriteHit:
+		return "write-hit"
+	case EvWriteMissDirect:
+		return "write-miss-direct"
+	case EvWriteMissFill:
+		return "write-miss-fill"
+	case EvEvict:
+		return "evict"
+	}
+	return fmt.Sprintf("Event(%d)", uint8(e))
+}
+
+// Cond is one guard over the non-actor population: with the acting cache
+// removed from the configuration, the total count over the masked slots
+// must be non-zero (NonEmpty) or zero (!NonEmpty). MShared guards are
+// expressed this way: the wire is asserted exactly when some other valid
+// holder snoops the operation.
+type Cond struct {
+	Mask     uint16
+	NonEmpty bool
+}
+
+// MemGuard conditions a rule on the memory-staleness bit (fills that
+// source data from main storage come in a fresh and a stale variant).
+type MemGuard uint8
+
+const (
+	MemAny MemGuard = iota
+	MemMustFresh
+	MemMustStale
+)
+
+// MemEffect is how a rule updates the memory-staleness bit.
+type MemEffect uint8
+
+const (
+	MemKeep MemEffect = iota
+	MemToFresh
+	MemToStale
+)
+
+// Rule is one guarded counter transition: an acting cache moves From→To;
+// if the rule's bus traffic snoops, every other cache in slot t moves to
+// Move[t]; the memory bit is guarded and updated. All fields are data so
+// rule tables can be fuzzed and serialized.
+type Rule struct {
+	Name  string
+	Event Event
+	// From and To are the acting cache's slots before and after.
+	From, To uint8
+	// Conds guard on the configuration with the actor removed.
+	Conds []Cond
+	// Snoops applies Move to every non-actor cache; a rule with no bus
+	// visibility (local write, silent drop) leaves others' states alone
+	// (Move must then be the identity or a pure restale map).
+	Snoops bool
+	Move   [numSlots]uint8
+	// MemGuard/Mem condition on and update the memory-staleness bit.
+	MemGuard MemGuard
+	Mem      MemEffect
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("%s: %s→%s", r.Name, slotName(r.From), slotName(r.To))
+}
+
+// Model is the abstract protocol: its rule table plus the structural
+// facts the unsafe predicates need.
+type Model struct {
+	// Proto is the protocol name the model was derived from.
+	Proto string
+	// Legal marks the coherence states the protocol's lines may occupy
+	// (from the checking profile).
+	Legal [core.NumStates]bool
+	// CleanMatchesMemory mirrors check.Profile: when no dirty copy
+	// exists, main storage must be current.
+	CleanMatchesMemory bool
+	// Rules is the derived guarded-transition table.
+	Rules []Rule
+}
+
+// maskAllValid is the guard mask covering every valid slot.
+func maskAllValid() uint16 {
+	var m uint16
+	for s := uint8(1); s < numSlots; s++ {
+		m |= 1 << s
+	}
+	return m
+}
+
+// cge reports count ≥ n under the saturating domain. Many means "at
+// least manyCutoff", and every predicate threshold in this package is at
+// most manyCutoff, so Many satisfies all of them.
+func cge(c Count, n int) bool {
+	if c == Many {
+		return true
+	}
+	return int(c) >= n
+}
+
+// sumSlots adds the counts of the masked slots, saturating into Many.
+func (c Config) sumSlots(mask uint16) Count {
+	var total Count
+	for s := uint8(0); s < numSlots; s++ {
+		if mask&(1<<s) == 0 {
+			continue
+		}
+		total = cadd(total, c.N[s])
+	}
+	return total
+}
+
+// cadd is saturating addition: any Many operand, or any sum reaching
+// manyCutoff when an operand was symbolic, stays in the finite range
+// unless it overflows uint8 — exact mode never approaches either bound.
+func cadd(a, b Count) Count {
+	if a == Many || b == Many {
+		return Many
+	}
+	s := uint16(a) + uint16(b)
+	if s >= uint16(Many) {
+		return Many - 1
+	}
+	return Count(s)
+}
+
+// Unsafe names the violated safety invariant of a configuration, or
+// returns ok=false when the configuration is safe. The predicate names
+// match the runtime oracle's Violation kinds so a concretized
+// counterexample and its replay report the same failure class.
+func (m *Model) Unsafe(c Config) (kind string, ok bool) {
+	var valid, dirty, eOrD Count
+	for s := uint8(1); s < numSlots; s++ {
+		n := c.N[s]
+		if n == 0 {
+			continue
+		}
+		if !m.Legal[stateOf(s)] {
+			return "illegal-state", true
+		}
+		valid = cadd(valid, n)
+		if stateOf(s).IsDirty() {
+			dirty = cadd(dirty, n)
+		}
+		if st := stateOf(s); st == core.Dirty || st == core.Exclusive {
+			eOrD = cadd(eOrD, n)
+		}
+	}
+	if cge(dirty, 2) {
+		return "multi-dirty", true
+	}
+	// Dirty and Exclusive both mean the Shared tag is clear: the holder
+	// believes it is sole and will write without telling anyone.
+	if cge(eOrD, 1) && cge(valid, 2) {
+		return "dirty-not-sole", true
+	}
+	for s := uint8(1); s < numSlots; s++ {
+		if slotStale(s) && cge(c.N[s], 1) {
+			return "stale-copy", true
+		}
+	}
+	if c.MemStale && dirty == 0 && m.CleanMatchesMemory {
+		return "memory-stale", true
+	}
+	return "", false
+}

@@ -1,0 +1,149 @@
+package verify
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"firefly/internal/check"
+)
+
+// TestCounterexampleReplayRoundTrip is the counterexample-to-replay
+// battery: for each deliberately broken protocol the checker must find
+// an unsafe configuration, concretize its path into an ordered schedule,
+// survive a write/read trip through the replay format, and — replayed
+// through the runtime stress harness — trip the runtime oracle with the
+// same violation kind the abstract model predicted.
+func TestCounterexampleReplayRoundTrip(t *testing.T) {
+	for _, name := range check.BrokenProtocolNames() {
+		t.Run(name, func(t *testing.T) {
+			r, err := ForProtocol(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce := r.Counterexample()
+			if ce == nil {
+				t.Fatalf("%s: no counterexample", name)
+			}
+			cfg, sched, err := Concretize(r.Model, ce)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cfg.Ordered {
+				t.Fatal("concretized schedule is not ordered")
+			}
+			if len(sched) != len(ce.Path) {
+				t.Fatalf("schedule has %d ops for %d abstract steps", len(sched), len(ce.Path))
+			}
+
+			// Through the replay format (v2: ordered, kind-constrained).
+			path := filepath.Join(t.TempDir(), "ce.replay")
+			if err := check.SaveReplay(path, cfg, sched); err != nil {
+				t.Fatal(err)
+			}
+			cfg2, sched2, err := check.LoadReplay(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cfg2.Ordered || cfg2.Protocol != name || len(sched2) != len(sched) {
+				t.Fatalf("replay readback mangled config: %+v", cfg2)
+			}
+			for i := range sched {
+				if sched[i] != sched2[i] {
+					t.Fatalf("op %d mangled: %+v -> %+v", i, sched[i], sched2[i])
+				}
+			}
+
+			// Replay and demand the runtime oracle sees the predicted
+			// violation class.
+			res, err := check.RunReplayFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Ok() {
+				t.Fatalf("%s: replay of concretized counterexample ran clean", name)
+			}
+			found := false
+			for _, v := range res.Violations {
+				if v.Kind == ce.Kind {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: abstract kind %q not among replay violations %v", name, ce.Kind, res.Violations)
+			}
+		})
+	}
+}
+
+// TestReplayV2FormatVersioning pins the format negotiation: plain
+// schedules still write v1 (older artifacts stay replayable), ordered or
+// kind-constrained schedules write v2, and v1 parsing rejects v2-only
+// fields.
+func TestReplayV2FormatVersioning(t *testing.T) {
+	plain := check.StressConfig{Protocol: "firefly", CPUs: 2}
+	sched := check.Schedule{{CPU: 0, AddrIdx: 1, Data: 7}}
+	var buf bytes.Buffer
+	if err := check.WriteReplay(&buf, plain, sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("firefly-check replay v1\n")) {
+		t.Fatalf("plain schedule wrote %q", buf.Bytes()[:30])
+	}
+
+	buf.Reset()
+	ordered := plain
+	ordered.Ordered = true
+	if err := check.WriteReplay(&buf, ordered, sched); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("firefly-check replay v2\n")) {
+		t.Fatalf("ordered schedule wrote %q", buf.Bytes()[:30])
+	}
+	cfg2, sched2, err := check.ReadReplay(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg2.Ordered || len(sched2) != 1 || sched2[0] != sched[0] {
+		t.Fatalf("v2 readback mangled: %+v %+v", cfg2, sched2)
+	}
+
+	// A kind constraint alone also needs v2.
+	buf.Reset()
+	kinded := check.Schedule{{CPU: 0, AddrIdx: 1, Kind: check.RefWrite}}
+	if err := check.WriteReplay(&buf, plain, kinded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("firefly-check replay v2\n")) {
+		t.Fatal("kind-constrained schedule did not write v2")
+	}
+}
+
+// TestOrderedScheduleHonestProtocolClean: ordering machinery itself must
+// not perturb a correct protocol — a small ordered schedule over the
+// firefly protocol runs clean and consumes every op.
+func TestOrderedScheduleHonestProtocolClean(t *testing.T) {
+	cfg := check.StressConfig{
+		Protocol: "firefly", CPUs: 3, Ordered: true, WalkEvery: 1,
+	}
+	sched := check.Schedule{
+		{CPU: 0, AddrIdx: targetAddrIdx, Kind: check.RefRead},
+		{CPU: 1, AddrIdx: targetAddrIdx, Kind: check.RefRead},
+		{CPU: 1, AddrIdx: targetAddrIdx, Data: 0xBEEF, Kind: check.RefWrite},
+		{CPU: 2, AddrIdx: targetAddrIdx, Data: 0xF00D, Kind: check.RefWrite},
+		{CPU: 0, AddrIdx: aliasAddrIdx, Kind: check.RefRead},
+		{CPU: 2, AddrIdx: targetAddrIdx, Kind: check.RefRead},
+	}
+	cfg.Ops = len(sched)
+	res, err := check.RunSchedule(cfg, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ok() {
+		t.Fatalf("ordered firefly run tripped the oracle: %v", res.Violations)
+	}
+	if res.Checked == 0 {
+		t.Fatal("oracle checked nothing")
+	}
+}

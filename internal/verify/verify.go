@@ -1,0 +1,113 @@
+package verify
+
+import (
+	"fmt"
+
+	"firefly/internal/check"
+	"firefly/internal/core"
+)
+
+// DefaultKs is the exact cache counts the standard report enumerates.
+// The Firefly hardware shipped with at most seven processors; together
+// with the symbolic ω space the range generalizes to any population.
+var DefaultKs = []int{2, 3, 4, 5, 6}
+
+// Report is the verification result for one protocol: its derived
+// model, the exact spaces for each k, and the symbolic space.
+type Report struct {
+	Protocol string
+	Model    *Model
+	// Exact holds one space per DefaultKs entry, in order.
+	Exact []*Space
+	// Symbolic is the ω-bucket space (unbounded cache population).
+	Symbolic *Space
+}
+
+// Safe reports whether every enumerated space proved the invariants.
+func (r *Report) Safe() bool {
+	for _, sp := range r.Exact {
+		if !sp.Safe() {
+			return false
+		}
+	}
+	return r.Symbolic.Safe()
+}
+
+// Counterexample returns the smallest-k exact counterexample (the one
+// the concretizer wants), falling back to the symbolic one; nil when
+// safe.
+func (r *Report) Counterexample() *Counterexample {
+	for _, sp := range r.Exact {
+		if sp.Counterexample != nil {
+			return sp.Counterexample
+		}
+	}
+	return r.Symbolic.Counterexample
+}
+
+// ArcAllowed reports whether some reachable abstract rule application,
+// in any enumerated space, moves a cache from→to.
+func (r *Report) ArcAllowed(from, to core.State) bool {
+	for _, sp := range r.Exact {
+		if sp.Arcs[from][to] {
+			return true
+		}
+	}
+	return r.Symbolic.Arcs[from][to]
+}
+
+// StateOccupied reports whether any reachable configuration holds a
+// copy in state s.
+func (r *Report) StateOccupied(s core.State) bool {
+	if s == core.Invalid {
+		return true
+	}
+	for _, sp := range r.Exact {
+		if sp.Occupied[s] {
+			return true
+		}
+	}
+	return r.Symbolic.Occupied[s]
+}
+
+// TransitionAllowed is the cross-validation predicate for a transition
+// observed in the cycle simulator. Beyond the abstract arcs it accepts
+// the controller's replacement composites: a fill replacing a clean
+// victim emits a single victim-state→fill-state event, which the
+// abstract model performs as evict (victim→Invalid) plus fill
+// (Invalid→new).
+func (r *Report) TransitionAllowed(from, to core.State) bool {
+	if r.ArcAllowed(from, to) {
+		return true
+	}
+	if from.Valid() && !from.IsDirty() && r.StateOccupied(from) && r.ArcAllowed(core.Invalid, to) {
+		return true
+	}
+	return false
+}
+
+// ForProtocol derives the abstract model for a protocol (by checker
+// name, so the deliberately broken protocols resolve too) and
+// enumerates the standard spaces.
+func ForProtocol(name string) (*Report, error) {
+	proto, ok := check.ProtocolByName(name)
+	if !ok {
+		return nil, fmt.Errorf("verify: unknown protocol %q", name)
+	}
+	prof, ok := check.ProfileFor(proto)
+	if !ok {
+		return nil, fmt.Errorf("verify: no checking profile for protocol %q", name)
+	}
+	m := Derive(prof)
+	r := &Report{Protocol: name, Model: m}
+	for _, k := range DefaultKs {
+		r.Exact = append(r.Exact, Explore(m, k))
+	}
+	r.Symbolic = Explore(m, 0)
+	return r, nil
+}
+
+// ShippedProtocolNames lists the five real protocols in suite order.
+func ShippedProtocolNames() []string {
+	return []string{"firefly", "dragon", "berkeley", "mesi", "write-through-invalidate"}
+}

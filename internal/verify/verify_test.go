@@ -1,0 +1,263 @@
+package verify
+
+import (
+	"fmt"
+	"testing"
+
+	"firefly/internal/check"
+	"firefly/internal/core"
+)
+
+// TestShippedProtocolsSafe is the headline result: every protocol in the
+// suite proves its safety invariants by exhaustive enumeration for
+// k = 2..6 caches per line and in the symbolic ω space.
+func TestShippedProtocolsSafe(t *testing.T) {
+	for _, name := range ShippedProtocolNames() {
+		r, err := ForProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sp := range append(append([]*Space{}, r.Exact...), r.Symbolic) {
+			if !sp.Safe() {
+				t.Fatalf("%s k=%d: %s", name, sp.K, sp.Counterexample)
+			}
+			if sp.States < 2 {
+				t.Errorf("%s k=%d: only %d reachable states — enumeration looks broken", name, sp.K, sp.States)
+			}
+			if sp.Diameter < 2 {
+				t.Errorf("%s k=%d: diameter %d", name, sp.K, sp.Diameter)
+			}
+		}
+		if !r.Safe() {
+			t.Errorf("%s: report not safe", name)
+		}
+		// The symbolic space generalizes: it must reach ω populations.
+		if r.Symbolic.ManyStates == 0 {
+			t.Errorf("%s: symbolic space never reached an ω bucket", name)
+		}
+	}
+}
+
+// TestExactSpacesGrowWithK sanity-checks the exact enumeration: more
+// caches can only reach more (or equally many) configurations.
+func TestExactSpacesGrowWithK(t *testing.T) {
+	for _, name := range ShippedProtocolNames() {
+		r, err := ForProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(r.Exact); i++ {
+			if r.Exact[i].States < r.Exact[i-1].States {
+				t.Errorf("%s: states shrank from k=%d (%d) to k=%d (%d)",
+					name, r.Exact[i-1].K, r.Exact[i-1].States, r.Exact[i].K, r.Exact[i].States)
+			}
+		}
+	}
+}
+
+// expectedCEKinds maps each deliberately broken protocol to the
+// invariant its bug violates.
+var expectedCEKinds = map[string]string{
+	"bad-stale-sharer":   "stale-copy",
+	"bad-double-writer":  "stale-copy",
+	"bad-exclusive-fill": "dirty-not-sole",
+}
+
+// TestBrokenProtocolsYieldCounterexamples: each deliberately broken
+// protocol must be caught at every k, with a well-formed shortest path
+// to the expected violation.
+func TestBrokenProtocolsYieldCounterexamples(t *testing.T) {
+	for _, name := range check.BrokenProtocolNames() {
+		r, err := ForProtocol(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Safe() {
+			t.Fatalf("%s: verified safe", name)
+		}
+		for _, sp := range append(append([]*Space{}, r.Exact...), r.Symbolic) {
+			ce := sp.Counterexample
+			if ce == nil {
+				t.Errorf("%s k=%d: no counterexample", name, sp.K)
+				continue
+			}
+			if want := expectedCEKinds[name]; ce.Kind != want {
+				t.Errorf("%s k=%d: counterexample kind %q, want %q", name, sp.K, ce.Kind, want)
+			}
+			if err := validateCounterexample(r.Model, sp.K, ce); err != nil {
+				t.Errorf("%s k=%d: malformed counterexample: %v", name, sp.K, err)
+			}
+		}
+	}
+}
+
+// TestDerivationIsMechanical: deriving twice yields the identical rule
+// table, and the rules only mention slots of states the profile allows
+// the actor to occupy.
+func TestDerivationIsMechanical(t *testing.T) {
+	for _, name := range append(ShippedProtocolNames(), check.BrokenProtocolNames()...) {
+		proto, ok := check.ProtocolByName(name)
+		if !ok {
+			t.Fatalf("unknown protocol %q", name)
+		}
+		prof, ok := check.ProfileFor(proto)
+		if !ok {
+			t.Fatalf("no profile for %q", name)
+		}
+		a, b := Derive(prof), Derive(prof)
+		if len(a.Rules) == 0 {
+			t.Fatalf("%s: empty rule table", name)
+		}
+		if len(a.Rules) != len(b.Rules) {
+			t.Fatalf("%s: non-deterministic derivation", name)
+		}
+		for i := range a.Rules {
+			if a.Rules[i].String() != b.Rules[i].String() {
+				t.Errorf("%s: rule %d differs between derivations", name, i)
+			}
+			if from := stateOf(a.Rules[i].From); from.Valid() && !prof.Legal[from] {
+				t.Errorf("%s: rule %q acts from illegal state %s", name, a.Rules[i].Name, from)
+			}
+		}
+	}
+}
+
+// TestSlotEncoding pins the slot layout the whole package builds on.
+func TestSlotEncoding(t *testing.T) {
+	seen := map[uint8]bool{}
+	for s := core.State(0); s < core.NumStates; s++ {
+		for _, stale := range []bool{false, true} {
+			slot := slotOf(s, stale)
+			if s == core.Invalid {
+				if slot != slotInvalid {
+					t.Fatalf("Invalid maps to slot %d", slot)
+				}
+				continue
+			}
+			if seen[slot] {
+				t.Fatalf("slot %d assigned twice", slot)
+			}
+			seen[slot] = true
+			if got := stateOf(slot); got != s {
+				t.Fatalf("stateOf(slotOf(%s,%v)) = %s", s, stale, got)
+			}
+			if got := slotStale(slot); got != stale {
+				t.Fatalf("slotStale(slotOf(%s,%v)) = %v", s, stale, got)
+			}
+		}
+	}
+	if len(seen) != numSlots-1 {
+		t.Fatalf("%d valid slots, want %d", len(seen), numSlots-1)
+	}
+}
+
+// TestCountDomain pins the saturating ω arithmetic.
+func TestCountDomain(t *testing.T) {
+	if cadd(Many, 1) != Many || cadd(2, Many) != Many {
+		t.Fatal("ω is not absorbing under addition")
+	}
+	if cadd(2, 2) != 4 {
+		t.Fatal("finite addition broken")
+	}
+	if !cge(Many, 2) || !cge(2, 2) || cge(1, 2) {
+		t.Fatal("cge broken")
+	}
+	var cfg Config
+	cfg.N[slotOf(core.Dirty, false)] = Many
+	out := decSlot(cfg, slotOf(core.Dirty, false), true)
+	if len(out) != 2 {
+		t.Fatalf("dec(ω) returned %d branches, want 2 (ω and %d)", len(out), manyCutoff-1)
+	}
+	if out[0].N[slotOf(core.Dirty, false)] != manyCutoff-1 || out[1].N[slotOf(core.Dirty, false)] != Many {
+		t.Fatal("dec(ω) branches wrong: want cutoff-1 and ω")
+	}
+}
+
+// TestUnsafePredicates spot-checks each invariant on hand-built
+// configurations (firefly model).
+func TestUnsafePredicates(t *testing.T) {
+	r, err := ForProtocol("firefly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := r.Model
+	mk := func(memStale bool, pairs ...any) Config {
+		var c Config
+		c.MemStale = memStale
+		for i := 0; i < len(pairs); i += 2 {
+			c.N[pairs[i].(uint8)] = Count(pairs[i+1].(int))
+		}
+		return c
+	}
+	dirty := slotOf(core.Dirty, false)
+	excl := slotOf(core.Exclusive, false)
+	shared := slotOf(core.Shared, false)
+	sharedStale := slotOf(core.Shared, true)
+	sd := slotOf(core.SharedDirty, false)
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{mk(false, shared, 3), ""},
+		{mk(false, dirty, 1), ""},
+		{mk(true, dirty, 1), ""}, // dirty owner covers stale memory
+		{mk(false, dirty, 2), "multi-dirty"},
+		{mk(false, dirty, 1, shared, 1), "dirty-not-sole"},
+		{mk(false, excl, 2), "dirty-not-sole"},
+		{mk(false, shared, 1, sharedStale, 1), "stale-copy"},
+		{mk(true, shared, 2), "memory-stale"},
+		{mk(false, sd, 1), "illegal-state"}, // firefly never enters SharedDirty
+	}
+	for _, c := range cases {
+		kind, bad := m.Unsafe(c.cfg)
+		if (c.want == "") != !bad || kind != c.want {
+			t.Errorf("Unsafe(%s) = %q, want %q", c.cfg, kind, c.want)
+		}
+	}
+}
+
+// validateCounterexample replays an abstract path, checking that it
+// starts at the initial configuration, every step is a real successor
+// under its rule, and the final configuration violates the reported
+// invariant. Shared by the broken-protocol tests and the fuzzer.
+func validateCounterexample(m *Model, k int, ce *Counterexample) error {
+	if len(ce.Path) == 0 {
+		return errNoPath
+	}
+	cur := Initial(k)
+	for i, step := range ce.Path {
+		if step.Pre != cur {
+			return stepError{i, "pre-config mismatch"}
+		}
+		found := false
+		for _, succ := range successors(&step.Rule, cur, k == 0) {
+			if succ == step.Post {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return stepError{i, "post-config not a successor under rule " + step.Rule.Name}
+		}
+		cur = step.Post
+	}
+	kind, bad := m.Unsafe(cur)
+	if !bad {
+		return stepError{len(ce.Path) - 1, "final configuration is safe"}
+	}
+	if kind != ce.Kind {
+		return stepError{len(ce.Path) - 1, "final violation " + kind + ", reported " + ce.Kind}
+	}
+	return nil
+}
+
+type stepError struct {
+	step int
+	msg  string
+}
+
+func (e stepError) Error() string {
+	return fmt.Sprintf("step %d: %s", e.step, e.msg)
+}
+
+var errNoPath = stepError{0, "empty path"}
