@@ -11,6 +11,7 @@
 package firefly_test
 
 import (
+	"fmt"
 	"testing"
 
 	"firefly"
@@ -350,6 +351,65 @@ func BenchmarkClusterRPC(b *testing.B) {
 		mbps = float64(cl.Node(0).Stats().BytesMoved.Value()) * 8 / secs / 1e6
 	}
 	b.ReportMetric(mbps, "Mbit/s@3threads")
+}
+
+// buildFleet constructs the bridged fleet the scaling benchmarks
+// share: nodes machines at eight per Ethernet segment, one RPC server
+// on segment 0, a three-thread caller on the same wire, and a
+// three-thread caller across the bridge. The remaining machines are
+// quiesced — CPUs halted, no kernel threads — the fleet shape where a
+// few nodes carry traffic and the rest sit powered on but idle, which
+// is exactly where the windowed engine's machine-level big-stepping
+// pays (an idle member costs one next-event scan per window instead of
+// a Step per cycle).
+func buildFleet(nodes int) *cluster.Cluster {
+	cl := cluster.New(cluster.Config{Machines: nodes, Segments: nodes / 8, Seed: 7})
+	cl.Node(0).StartServer()
+	cl.Node(1).StartCallers(3, 0, 0)
+	cl.Node(9).StartCallers(3, 0, 0)
+	for i := 2; i < cl.Size(); i++ {
+		if i == 9 {
+			continue
+		}
+		m := cl.Machine(i)
+		for p := 0; p < m.Config().Processors; p++ {
+			m.CPU(p).Halt()
+		}
+	}
+	cl.Run(200_000) // fill the RPC pipeline
+	return cl
+}
+
+// BenchmarkFleetCycleStep is the serial baseline for the fleet: the
+// per-cycle Step loop pays the full cost of ticking all 64 machines,
+// 8 segments, and the bridge every cluster cycle, busy or not. This is
+// what every cluster cycle cost before the windowed engine.
+func BenchmarkFleetCycleStep(b *testing.B) {
+	cl := buildFleet(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl.Step()
+	}
+}
+
+// BenchmarkFleetCycleRun drives fleets of varying size through the
+// windowed engine at varying worker counts: machines big-step
+// independently inside each event-free window, so idle members skip
+// their quiet stretches instead of paying per-cycle overhead, and the
+// in-window runs shard across workers. Output is byte-identical at any
+// worker count by the engine's determinism contract; ns/op is one
+// cluster cycle, so aggregate machine-cycles/sec = nodes / ns_op.
+func BenchmarkFleetCycleRun(b *testing.B) {
+	for _, nodes := range []int{16, 64} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				cl := buildFleet(nodes)
+				cl.SetWorkers(workers)
+				b.ResetTimer()
+				cl.Run(uint64(b.N))
+			})
+		}
+	}
 }
 
 // BenchmarkBitBlt measures a 64x64 frame buffer copy.

@@ -16,6 +16,7 @@
 //	fireflysim -replay repro.replay
 //	fireflysim -cluster 2 -callers 3 -seconds 0.5
 //	fireflysim -cluster 3 -faults "drop=0.02" -seconds 0.2
+//	fireflysim -cluster 64 -segments 8 -workers 4 -callers 1 -seconds 0.01
 package main
 
 import (
@@ -91,19 +92,29 @@ func runVerify(name, out string) {
 	}
 }
 
-// runCluster drives N Fireflies on a shared Ethernet: node 0 runs the
-// RPC server, every other node aims caller threads at it, and the run
-// reports per-node call counts plus wire-level statistics.
-func runCluster(n, callers int, seconds float64, seed uint64, faults string) {
+// runCluster drives N Fireflies on shared Ethernet segments: node 0
+// runs the RPC server, every other node aims caller threads at it, and
+// the run reports per-node call counts plus wire-level statistics. With
+// -segments > 1 the machines split across bridged wires, and -workers
+// shards the member machines across goroutines inside the engine's
+// wire-bounded windows (output is byte-identical for any value).
+func runCluster(n, segments, workers, callers int, seconds float64, seed uint64, faults string) {
 	if n < 2 {
 		fmt.Fprintf(os.Stderr, "fireflysim: -cluster %d: a cluster needs at least 2 machines\n", n)
+		os.Exit(2)
+	}
+	if segments < 1 || segments > n {
+		fmt.Fprintf(os.Stderr, "fireflysim: -segments %d: need between 1 and %d segments\n", segments, n)
 		os.Exit(2)
 	}
 	if callers < 1 {
 		fmt.Fprintf(os.Stderr, "fireflysim: -callers %d: need at least 1 caller thread\n", callers)
 		os.Exit(2)
 	}
-	cfg := cluster.Config{Machines: n, Seed: seed}
+	if workers < 1 {
+		workers = cluster.DefaultWorkers()
+	}
+	cfg := cluster.Config{Machines: n, Segments: segments, Workers: workers, Seed: seed}
 	if faults != "" {
 		fcfg, err := fault.ParseSpec(faults)
 		if err != nil {
@@ -120,8 +131,8 @@ func runCluster(n, callers int, seconds float64, seed uint64, faults string) {
 	cl.RunSeconds(seconds)
 
 	var payload uint64
-	fmt.Printf("cluster: %d machines, %d caller threads each, %.3f simulated seconds\n",
-		n, callers, seconds)
+	fmt.Printf("cluster: %d machines on %d segment(s), %d caller threads each, %d workers, %.3f simulated seconds\n",
+		n, segments, callers, workers, seconds)
 	for i := 1; i < n; i++ {
 		st := cl.Node(i).Stats()
 		payload += st.BytesMoved.Value()
@@ -132,11 +143,18 @@ func runCluster(n, callers int, seconds float64, seed uint64, faults string) {
 	srv := cl.Node(0).Stats()
 	fmt.Printf("node 0 (server): %d calls served, %d duplicates absorbed\n",
 		srv.Served.Value(), srv.DupCalls.Value())
-	seg := cl.Segment().Stats()
-	fmt.Printf("wire: %.2f Mbit/s payload, utilization %.2f, %d frames (%d collisions, %d deferrals, %d dropped)\n",
-		float64(payload)*8/seconds/1e6, cl.Segment().Utilization(),
-		seg.Frames.Value(), seg.Collisions.Value(), seg.Deferrals.Value(),
-		seg.Dropped.Value())
+	fmt.Printf("payload: %.2f Mbit/s across the fleet\n", float64(payload)*8/seconds/1e6)
+	for k := 0; k < cl.NumSegments(); k++ {
+		seg := cl.SegmentAt(k).Stats()
+		fmt.Printf("wire %d: utilization %.2f, %d frames (%d collisions, %d deferrals, %d dropped)\n",
+			k, cl.SegmentAt(k).Utilization(),
+			seg.Frames.Value(), seg.Collisions.Value(), seg.Deferrals.Value(),
+			seg.Dropped.Value())
+	}
+	if br := cl.Bridge(); br != nil {
+		fmt.Printf("bridge: %d frames forwarded, %d unroutable\n",
+			br.Stats().Forwarded.Value(), br.Stats().Unroutable.Value())
+	}
 	if plan := cl.NetFaults(); plan != nil {
 		fmt.Printf("faults: %d frames dropped by the plan\n", plan.Stats().NetDrops.Value())
 	}
@@ -167,6 +185,7 @@ func main() {
 	verifyOut := flag.String("verify-out", "", "with -verify: write the concretized counterexample as a replay file (runnable with -replay)")
 	clusterN := flag.Int("cluster", 0, "run an N-machine cluster on a shared Ethernet instead of one machine (node 0 serves, the rest call)")
 	callers := flag.Int("callers", 3, "caller threads per client machine in -cluster mode")
+	segments := flag.Int("segments", 1, "Ethernet segments in -cluster mode, joined store-and-forward by a bridge (machines split in contiguous blocks)")
 	travel := flag.Uint64("travel", 0, "time-travel: after the run, restore the post-warmup snapshot, replay to this cycle, and print the report there (synthetic workload only; 0 = off)")
 	flag.Parse()
 
@@ -193,12 +212,13 @@ func main() {
 	}
 
 	if *clusterN > 0 {
-		runCluster(*clusterN, *callers, *seconds, *seed, *faults)
+		runCluster(*clusterN, *segments, *workers, *callers, *seconds, *seed, *faults)
 		return
 	}
 
 	if *experiment != "" {
 		experiments.SetWorkers(*workers)
+		experiments.SetClusterSegments(*segments)
 		// Only a flag the user actually set restricts a sweep axis; the
 		// -arb default would otherwise silently collapse policysweep.
 		flagSet := map[string]bool{}

@@ -34,9 +34,11 @@ func main() {
 	workers := flag.Int("workers", 0, "sweep worker goroutines (0 = one per CPU; output is identical for any value)")
 	arb := flag.String("arb", "", "restrict policysweep's arbitration axis (comma-separated: fixed, rr, fcfs)")
 	sched := flag.String("sched", "", "restrict policysweep's dispatch axis (comma-separated: averse, oldest, steal)")
+	segments := flag.Int("segments", 1, "Ethernet segments for the cluster experiment (2 puts client and server on bridged wires)")
 	flag.Parse()
 
 	experiments.SetWorkers(*workers)
+	experiments.SetClusterSegments(*segments)
 	if err := experiments.SetPolicyAxes(splitAxis(*arb), splitAxis(*sched)); err != nil {
 		fmt.Fprintf(os.Stderr, "tables: %v\n", err)
 		os.Exit(2)

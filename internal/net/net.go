@@ -41,6 +41,12 @@ type Config struct {
 	// MaxAttempts bounds transmission attempts per frame before the
 	// station gives up and reports the frame aborted (default 16).
 	MaxAttempts int
+	// MinFrameWords is the smallest frame a station may Send (default 1).
+	// Raising it tightens EventHorizon: no frame sent after "now" can
+	// finish serializing sooner than MinFrameWords*WordCycles later, which
+	// is what lets the cluster run machines ahead of the wire in windows.
+	// The cluster sets it to the RPC transport's header size.
+	MinFrameWords int
 	// Seed drives the backoff stream (0 becomes 1).
 	Seed uint64
 }
@@ -60,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxAttempts == 0 {
 		c.MaxAttempts = 16
+	}
+	if c.MinFrameWords == 0 {
+		c.MinFrameWords = 1
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -135,6 +144,10 @@ func (s *Station) Pending() int { return len(s.queue) }
 func (s *Station) Send(f Frame, done func(ok bool)) {
 	if len(f.Words) == 0 {
 		panic("net: empty frame")
+	}
+	if len(f.Words) < s.seg.cfg.MinFrameWords {
+		panic(fmt.Sprintf("net: frame of %d words below the segment minimum of %d",
+			len(f.Words), s.seg.cfg.MinFrameWords))
 	}
 	if f.Dst != Broadcast && (f.Dst < 0 || f.Dst >= len(s.seg.stations)) {
 		panic(fmt.Sprintf("net: frame to unknown station %d", f.Dst))
@@ -281,6 +294,59 @@ func (s *Segment) NextEvent(now sim.Cycle) sim.Cycle {
 		ev = sim.EarliestEvent(ev, ready)
 	}
 	return ev
+}
+
+// EventHorizon reports a lower bound on the first future cycle at which
+// the segment may call out of itself: deliver a frame to a station
+// handler, run a done(true) completion, or run a done(false) abort. It
+// may under-report (the actual first call-out can be later, e.g. when a
+// collision pushes a completion back) but never over-reports, so the
+// cluster can run every machine independently through cycles strictly
+// before the horizon — no wire event can touch them there. Frames sent
+// after now are not covered; the caller bounds those separately from
+// MinFrameWords (no frame can finish sooner than MinFrameWords*WordCycles
+// after it first contends, and no frame can abort sooner than
+// MaxAttempts-1 backoff slots after its first collision).
+func (s *Segment) EventHorizon(now sim.Cycle) sim.Cycle {
+	h := sim.Never
+	if s.cur != nil {
+		// Delivery plus done(true) fire at the end of serialization.
+		if s.busyTill > now {
+			h = s.busyTill
+		} else {
+			return now + 1
+		}
+	}
+	for _, st := range s.stations {
+		if len(st.queue) == 0 {
+			continue
+		}
+		// The head frame cannot seize the wire before the interframe gap,
+		// its own backoff, and the current frame have all passed.
+		ready := now + 1
+		if st.backoffUntil > ready {
+			ready = st.backoffUntil
+		}
+		if s.idleAt > ready {
+			ready = s.idleAt
+		}
+		if s.cur != nil && s.busyTill > ready {
+			ready = s.busyTill
+		}
+		tx := st.queue[0]
+		// Earliest completion: seize at ready, serialize without collision.
+		ev := ready + sim.Cycle(uint64(len(tx.frame.Words))*s.cfg.WordCycles)
+		// Earliest abort: collide at ready and at every backoff expiry
+		// after it; each backoff is at least one slot.
+		rem := s.cfg.MaxAttempts - tx.attempts
+		if rem < 1 {
+			rem = 1
+		}
+		abort := ready + sim.Cycle(uint64(rem-1)*s.cfg.SlotCycles)
+		ev = sim.EarliestEvent(ev, abort)
+		h = sim.EarliestEvent(h, ev)
+	}
+	return h
 }
 
 // SkipCycles credits n skipped cycles of wire activity: the per-cycle

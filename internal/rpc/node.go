@@ -33,6 +33,12 @@ import (
 //	w4  total marshalled message bytes
 const (
 	frameHeaderWords = 5
+	// MinFrameWords is the smallest well-formed transport frame: the
+	// header alone. The cluster gives it to the Ethernet segments as
+	// net.Config.MinFrameWords, which bounds how soon a freshly sent
+	// frame can finish serializing and so sizes the windows over which
+	// member machines may run ahead of the wire.
+	MinFrameWords = frameHeaderWords
 	// FragDataBytes is the largest fragment of message bytes per frame:
 	// with the transport header it fills the DEQNA's 1516-byte frame.
 	FragDataBytes = 1480
@@ -95,6 +101,14 @@ func FrameDst(words []uint32) int {
 		return -1
 	}
 	return int(words[0] & 0xffff)
+}
+
+// FrameSrc extracts the source station from a frame.
+func FrameSrc(words []uint32) int {
+	if len(words) == 0 {
+		return -1
+	}
+	return int(words[0] >> 16)
 }
 
 // frag is one parsed wire frame.
@@ -242,6 +256,7 @@ type NodeStats struct {
 	BadMessages stats.Counter // reassembled messages that failed Unmarshal
 	BadPayload  stats.Counter // payload contents that failed verification
 	RxOverruns  stats.Counter // receive DMA aborts (frame lost in the NIC)
+	Misrouted   stats.Counter // frames addressed to another station
 }
 
 // call is one outstanding client call.
@@ -390,6 +405,7 @@ func (n *Node) registerStats() {
 	r.RegisterCounter("rpc.bad_messages", &n.stats.BadMessages)
 	r.RegisterCounter("rpc.bad_payload", &n.stats.BadPayload)
 	r.RegisterCounter("rpc.rx_overruns", &n.stats.RxOverruns)
+	r.RegisterCounter("rpc.misrouted", &n.stats.Misrouted)
 }
 
 // emit sends an event to the machine's tracer, if one is installed.
@@ -628,6 +644,13 @@ func (n *Node) onFrame(phys mbus.Addr, nwords int) {
 	f, err := parseFrag(words)
 	if err != nil {
 		n.stats.BadFrames.Inc()
+		return
+	}
+	if f.dst != n.station {
+		// A frame for another station reached this NIC: a bridge
+		// misroute or a cluster wiring bug. A real DEQNA's address
+		// filter would have ignored it; count and drop.
+		n.stats.Misrouted.Inc()
 		return
 	}
 	key := uint64(f.src)<<48 | uint64(f.kind)<<32 | uint64(f.id)
