@@ -33,8 +33,10 @@ import (
 	"firefly/internal/machine"
 	"firefly/internal/mbus"
 	"firefly/internal/obs"
+	"firefly/internal/rpc"
 	"firefly/internal/topaz"
 	"firefly/internal/trace"
+	"firefly/internal/traffic"
 	"firefly/internal/verify"
 	"firefly/internal/workload"
 )
@@ -143,6 +145,15 @@ func runCluster(n, segments, workers, callers int, seconds float64, seed uint64,
 	srv := cl.Node(0).Stats()
 	fmt.Printf("node 0 (server): %d calls served, %d duplicates absorbed\n",
 		srv.Served.Value(), srv.DupCalls.Value())
+	var clients []*rpc.Node
+	for i := 1; i < n; i++ {
+		clients = append(clients, cl.Node(i))
+	}
+	if h := rpc.MergeLatencies(clients...); h.Count() > 0 {
+		fmt.Printf("fleet latency: p50 %.0f µs, p95 %.0f µs, p99 %.0f µs over %d calls\n",
+			rpc.CyclesToUS(h.Percentile(0.50)), rpc.CyclesToUS(h.Percentile(0.95)),
+			rpc.CyclesToUS(h.Percentile(0.99)), h.Count())
+	}
 	fmt.Printf("payload: %.2f Mbit/s across the fleet\n", float64(payload)*8/seconds/1e6)
 	for k := 0; k < cl.NumSegments(); k++ {
 		seg := cl.SegmentAt(k).Stats()
@@ -158,6 +169,64 @@ func runCluster(n, segments, workers, callers int, seconds float64, seed uint64,
 	if plan := cl.NetFaults(); plan != nil {
 		fmt.Printf("faults: %d frames dropped by the plan\n", plan.Stats().NetDrops.Value())
 	}
+}
+
+// runTraffic drives the fleet traffic engine: member 0 is the
+// load-balancing front end terminating an open-loop user population and
+// every other member serves. The topology defaults to a 16-machine,
+// 4-segment bridged fleet when -cluster/-segments are left unset; the
+// report is byte-identical at any -workers value.
+func runTraffic(spec string, n, segments, workers int, seconds float64, seed uint64, faults string) {
+	ts, err := traffic.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+		os.Exit(2)
+	}
+	if n == 0 {
+		n = 16
+		if segments == 1 {
+			segments = 4
+		}
+	}
+	if n < 2 {
+		fmt.Fprintf(os.Stderr, "fireflysim: -cluster %d: traffic needs a balancer and at least one server\n", n)
+		os.Exit(2)
+	}
+	if segments < 1 || segments > n {
+		fmt.Fprintf(os.Stderr, "fireflysim: -segments %d: need between 1 and %d segments\n", segments, n)
+		os.Exit(2)
+	}
+	if workers < 1 {
+		workers = cluster.DefaultWorkers()
+	}
+	cfg := cluster.Config{
+		Machines:  n,
+		Segments:  segments,
+		Workers:   workers,
+		Seed:      seed,
+		NodePatch: ts.NodePatch(),
+	}
+	// Queueing delay near the admission bound must stay inside the
+	// retransmit timer, or the tail measures duplicate suppression
+	// instead of the queue.
+	cfg.Node.RetransmitCycles = 2_000_000
+	if faults != "" {
+		fcfg, err := fault.ParseSpec(faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fireflysim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Faults = &fcfg
+	}
+	cl := cluster.New(cfg)
+	eng := traffic.Attach(cl, ts)
+	cl.RunSeconds(seconds)
+	fmt.Printf("traffic: %d machines on %d segment(s), %d workers, %.3f simulated seconds\n",
+		n, segments, workers, seconds)
+	pred := ts.Predict(rpc.Config{}, n-1)
+	fmt.Printf("analytic: %.0f calls/s offered, per-node rho %.2f, knee %.0f sessions/s\n",
+		pred.CallsPerSecond, pred.Rho, pred.KneeSessionsPerSecond)
+	fmt.Print(eng.Report())
 }
 
 func main() {
@@ -187,6 +256,7 @@ func main() {
 	callers := flag.Int("callers", 3, "caller threads per client machine in -cluster mode")
 	segments := flag.Int("segments", 1, "Ethernet segments in -cluster mode, joined store-and-forward by a bridge (machines split in contiguous blocks)")
 	travel := flag.Uint64("travel", 0, "time-travel: after the run, restore the post-warmup snapshot, replay to this cycle, and print the report there (synthetic workload only; 0 = off)")
+	trafficSpec := flag.String("traffic", "", `fleet traffic spec, e.g. "rate=2000,mix=file:6/make:3/mdc:1,lb=least,queue=32,seed=5": member 0 load-balances an open-loop user population over the rest (defaults to a 16-machine 4-segment fleet unless -cluster/-segments are set)`)
 	flag.Parse()
 
 	if *verifyProto != "" {
@@ -209,6 +279,11 @@ func main() {
 			fmt.Printf("replay: VIOLATION %v\n", v)
 		}
 		os.Exit(1)
+	}
+
+	if *trafficSpec != "" {
+		runTraffic(*trafficSpec, *clusterN, *segments, *workers, *seconds, *seed, *faults)
+		return
 	}
 
 	if *clusterN > 0 {

@@ -83,6 +83,12 @@ type Config struct {
 	Net net.Config
 	// Node configures every machine's RPC runtime.
 	Node rpc.NodeConfig
+	// NodePatch, when non-nil, rewrites the node configuration per
+	// machine before the runtime is built — how the traffic engine gives
+	// its server nodes an admission-control queue bound and per-class
+	// service costs while the load-balancer front end keeps the plain
+	// client configuration. It must be a pure function of (i, cfg).
+	NodePatch func(i int, cfg rpc.NodeConfig) rpc.NodeConfig
 	// Faults, when non-nil, attaches a fault plan to every machine (the
 	// usual bus/memory/DMA/tag classes) and a cluster-level plan whose
 	// NetDropRate loses delivered frames on every segment. Seeded from
@@ -229,7 +235,11 @@ func New(cfg Config) *Cluster {
 		mcfg.Seed = cfg.Seed*1009 + uint64(i)
 		mcfg.Faults = cfg.Faults
 		m := machine.New(mcfg)
-		node := rpc.NewNode(m, i, cfg.Node)
+		ncfg := cfg.Node
+		if cfg.NodePatch != nil {
+			ncfg = cfg.NodePatch(i, ncfg)
+		}
+		node := rpc.NewNode(m, i, ncfg)
 		st := c.segs[k].Attach(func(f net.Frame) { node.Deliver(f.Words) })
 		mb := &member{m: m, node: node, st: st, seg: k}
 		node.Ethernet().AttachMedium(&medium{c: c, mb: mb}, i)

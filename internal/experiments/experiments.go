@@ -76,6 +76,7 @@ func All() []Runner {
 		{"cvax", CVAXSpeedup, "CVAX upgrade speedup"},
 		{"rpc", RPCThroughput, "RPC data-transfer bandwidth vs outstanding calls"},
 		{"cluster", ClusterRPC, "multi-Firefly RPC over the shared Ethernet (§6)"},
+		{"traffic", TrafficLoad, "fleet traffic: open-loop load, balancing, admission control"},
 		{"qbus", QBusLoad, "fully loaded QBus vs MBus bandwidth"},
 		{"mdc", MDCThroughput, "display controller paint rates"},
 		{"make", ParallelMake, "parallel make speedup"},

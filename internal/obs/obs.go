@@ -184,6 +184,11 @@ const (
 	// thread last ran on, Label the thread name. A KindSchedMigrate
 	// follows from the dispatch itself.
 	KindSchedSteal
+	// KindRPCShed: the server's admission control rejected a call
+	// because the dispatch queue was at its bound; a rejection reply was
+	// sent instead of queuing. Unit is the station, A the call ID, B the
+	// source station.
+	KindRPCShed
 
 	numKinds
 )
@@ -228,6 +233,7 @@ var kindNames = [numKinds]string{
 	KindRPCDuplicate:        "rpc.dup",
 	KindBusArb:              "bus.arb",
 	KindSchedSteal:          "sched.steal",
+	KindRPCShed:             "rpc.shed",
 }
 
 // String returns the kind's dotted name.

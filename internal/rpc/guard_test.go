@@ -1,0 +1,62 @@
+package rpc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRunZeroDurationNoNaN is the regression test for the division
+// guards in Run's final accounting: a zero-length run completes no
+// calls and advances no cycles, so every derived rate and latency field
+// must be exactly zero — not NaN from 0/0, which silently poisons any
+// aggregation it is merged into.
+func TestRunZeroDurationNoNaN(t *testing.T) {
+	res := Run(Config{}, 1, 0)
+	if res.Calls != 0 {
+		t.Fatalf("zero-duration run completed %d calls", res.Calls)
+	}
+	for name, v := range map[string]float64{
+		"Mbps":          res.Mbps,
+		"MeanLatencyUS": res.MeanLatencyUS,
+		"P50US":         res.P50US,
+		"P95US":         res.P95US,
+		"P99US":         res.P99US,
+		"WireUtil":      res.WireUtil,
+		"ServerUtil":    res.ServerUtil,
+		"ClientUtil":    res.ClientUtil,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v on a zero-duration run, want 0", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v on a zero-duration run, want exactly 0", name, v)
+		}
+	}
+}
+
+// TestRunPercentilesOrdered sanity-checks the new histogram plumbing on
+// a real run: percentiles are populated, ordered, and bracket the mean.
+func TestRunPercentilesOrdered(t *testing.T) {
+	res := Run(Config{}, 3, 0.2)
+	if res.Calls == 0 {
+		t.Fatal("no calls completed")
+	}
+	if res.P50US <= 0 || res.P50US > res.P95US || res.P95US > res.P99US {
+		t.Fatalf("percentiles disordered: p50 %v p95 %v p99 %v", res.P50US, res.P95US, res.P99US)
+	}
+	// The p50 upper bound must sit within a bucket width of the mean's
+	// neighborhood for this near-deterministic pipeline.
+	if res.P99US > 100*res.MeanLatencyUS {
+		t.Fatalf("p99 %v wildly exceeds mean %v", res.P99US, res.MeanLatencyUS)
+	}
+}
+
+// TestServerServiceCyclesMatchesDefaults pins the analytic service-time
+// helper the traffic engine's queuing model prices nodes with.
+func TestServerServiceCyclesMatchesDefaults(t *testing.T) {
+	got := Config{}.ServerServiceCycles(1024)
+	want := uint64(2500 + 1495*1024/100)
+	if got != want {
+		t.Fatalf("ServerServiceCycles(1024) = %d, want %d", got, want)
+	}
+}

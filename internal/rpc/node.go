@@ -188,6 +188,18 @@ type NodeConfig struct {
 	// Slots is the number of 2 KB NIC buffer slots, split evenly between
 	// transmit and receive rings (default 64).
 	Slots int
+	// MaxQueue bounds the server dispatch queue — admission control. A
+	// call arriving with the queue at its bound is shed: answered
+	// immediately from the receive path with a rejection reply
+	// (Proc=ShedProc) instead of being queued, so an overloaded server's
+	// latency stays bounded instead of collapsing under an ever-growing
+	// backlog. 0 (the default) queues without bound.
+	MaxQueue int
+	// ProcService charges extra server worker cycles per request
+	// procedure number, on top of the payload-derived cost — this is how
+	// the traffic engine gives its request classes (file read, compile
+	// job, display burst) distinct service demands on one server.
+	ProcService map[uint16]uint64
 	// Kernel tunes the node's Topaz kernel (zero: defaults with the
 	// machine's seed).
 	Kernel topaz.Config
@@ -245,9 +257,12 @@ type NodeStats struct {
 	CallsFailed    stats.Counter // retransmit budget exhausted
 	Retransmits    stats.Counter
 	BytesMoved     stats.Counter // payload bytes of completed calls
+	ShedReplies    stats.Counter // calls answered with a rejection (client side)
 
 	CallsReceived stats.Counter // distinct calls accepted by the server
 	Served        stats.Counter // replies sent (excluding dedup re-sends)
+	CallsShed     stats.Counter // calls rejected by admission control (MaxQueue)
+	ServiceCycles stats.Counter // worker cycles spent in service (utilization numerator)
 	DupCalls      stats.Counter // duplicate calls absorbed by ID dedup
 	DupReplies    stats.Counter // duplicate/stale replies at the client
 
@@ -259,10 +274,29 @@ type NodeStats struct {
 	Misrouted   stats.Counter // frames addressed to another station
 }
 
+// DefaultProc is the remote procedure number used by the built-in caller
+// threads and generators when the caller does not care.
+const DefaultProc uint16 = 7
+
+// ShedProc is the reply procedure number that marks a rejection: the
+// server's admission control answered the call without serving it.
+const ShedProc uint16 = 0xffff
+
+// CallOutcome is delivered to a call's completion callback: exactly one
+// of the normal, shed, or failed dispositions.
+type CallOutcome struct {
+	ID      uint32
+	Latency sim.Cycle // issue to disposition, in cycles
+	Bytes   int       // request payload bytes
+	Shed    bool      // the server rejected the call (admission control)
+	Failed  bool      // the retransmit budget ran out with no reply
+}
+
 // call is one outstanding client call.
 type call struct {
 	id       uint32
 	dst      int
+	proc     uint16
 	frames   [][]uint32
 	bytes    int // payload bytes
 	started  sim.Cycle
@@ -271,7 +305,9 @@ type call struct {
 	openLoop bool
 	done     bool
 	failed   bool
+	shed     bool
 	latency  sim.Cycle
+	onDone   func(CallOutcome)
 }
 
 // svc is one server-side call record (also the dedup entry).
@@ -314,12 +350,14 @@ type Node struct {
 
 	txSlot, rxSlot int
 
-	srvQueue []*svc
-	dedup    map[uint64]*svc
-	reasms   map[uint64]*reasm
+	srvQueue  []*svc
+	dedup     map[uint64]*svc
+	reasms    map[uint64]*reasm
+	queuePeak int
 
-	stats  NodeStats
-	latSum uint64
+	stats   NodeStats
+	latSum  uint64
+	latHist stats.LogHist
 }
 
 // NewNode builds the runtime on a machine, as the given station. It
@@ -379,6 +417,9 @@ func (n *Node) Outstanding() int { return len(n.byID) }
 // QueuedCalls returns the server backlog awaiting a worker.
 func (n *Node) QueuedCalls() int { return len(n.srvQueue) }
 
+// QueuePeak returns the deepest server backlog seen so far.
+func (n *Node) QueuePeak() int { return n.queuePeak }
+
 // MeanLatencyUS returns the mean completed-call latency in microseconds.
 func (n *Node) MeanLatencyUS() float64 {
 	c := n.stats.CallsCompleted.Value()
@@ -386,6 +427,25 @@ func (n *Node) MeanLatencyUS() float64 {
 		return 0
 	}
 	return float64(n.latSum) / float64(c) * (sim.CycleNS / 1000.0)
+}
+
+// Latencies returns the node's completed-call latency histogram
+// (cycles). Merge the histograms of several members for fleet-wide
+// percentiles; CyclesToUS converts the bounds.
+func (n *Node) Latencies() *stats.LogHist { return &n.latHist }
+
+// CyclesToUS converts a cycle count (histogram bounds, latencies) to
+// microseconds.
+func CyclesToUS(c uint64) float64 { return float64(c) * sim.CycleNS / 1000.0 }
+
+// MergeLatencies merges the latency histograms of several nodes into one
+// fleet-wide distribution.
+func MergeLatencies(nodes ...*Node) *stats.LogHist {
+	var h stats.LogHist
+	for _, n := range nodes {
+		h.Merge(&n.latHist)
+	}
+	return &h
 }
 
 // registerStats names the runtime counters in the machine registry.
@@ -396,8 +456,11 @@ func (n *Node) registerStats() {
 	r.RegisterCounter("rpc.calls_failed", &n.stats.CallsFailed)
 	r.RegisterCounter("rpc.retransmits", &n.stats.Retransmits)
 	r.RegisterCounter("rpc.bytes_moved", &n.stats.BytesMoved)
+	r.RegisterCounter("rpc.shed_replies", &n.stats.ShedReplies)
 	r.RegisterCounter("rpc.calls_received", &n.stats.CallsReceived)
 	r.RegisterCounter("rpc.served", &n.stats.Served)
+	r.RegisterCounter("rpc.calls_shed", &n.stats.CallsShed)
+	r.RegisterCounter("rpc.service_cycles", &n.stats.ServiceCycles)
 	r.RegisterCounter("rpc.dup_calls", &n.stats.DupCalls)
 	r.RegisterCounter("rpc.dup_replies", &n.stats.DupReplies)
 	r.RegisterCounter("rpc.frag_drops", &n.stats.FragDrops)
@@ -542,12 +605,26 @@ func callPayload(id uint32, bytes int) []byte {
 	return p
 }
 
+// Issue submits one call directly, without a caller thread: the traffic
+// engine's load-balancer path. The call is accounted open-loop (its
+// completion lands in the node's counters and latency histogram when the
+// reply arrives) and onDone, if non-nil, fires exactly once at the
+// call's disposition — reply, shed rejection, or retransmit-budget
+// failure. It returns the call ID.
+func (n *Node) Issue(dst, payloadBytes int, proc uint16, onDone func(CallOutcome)) uint32 {
+	if payloadBytes == 0 {
+		payloadBytes = n.cfg.Costs.PayloadBytes
+	}
+	c := n.issue(dst, payloadBytes, proc, true, onDone)
+	return c.id
+}
+
 // issue marshals and transmits one call. Caller threads run it inside
-// the client station; the open-loop generator runs it directly.
-func (n *Node) issue(dst, payloadBytes int, openLoop bool) *call {
+// the client station; the open-loop generator and Issue run it directly.
+func (n *Node) issue(dst, payloadBytes int, proc uint16, openLoop bool, onDone func(CallOutcome)) *call {
 	n.nextID++
 	id := n.nextID
-	msg := &Message{Kind: Call, ID: id, Proc: 7, Payload: callPayload(id, payloadBytes)}
+	msg := &Message{Kind: Call, ID: id, Proc: proc, Payload: callPayload(id, payloadBytes)}
 	buf, err := msg.Marshal()
 	if err != nil {
 		panic(err)
@@ -555,11 +632,13 @@ func (n *Node) issue(dst, payloadBytes int, openLoop bool) *call {
 	c := &call{
 		id:       id,
 		dst:      dst,
+		proc:     proc,
 		frames:   PackFrames(dst, n.station, id, Call, buf),
 		bytes:    payloadBytes,
 		started:  n.clock.Now(),
 		deadline: n.clock.Now() + sim.Cycle(n.cfg.RetransmitCycles),
 		openLoop: openLoop,
+		onDone:   onDone,
 	}
 	n.calls = append(n.calls, c)
 	n.byID[id] = c
@@ -589,6 +668,11 @@ func (n *Node) Step() {
 				c.failed = true
 				delete(n.byID, c.id)
 				n.stats.CallsFailed.Inc()
+				if c.onDone != nil {
+					c.onDone(CallOutcome{
+						ID: c.id, Latency: now - c.started, Bytes: c.bytes, Failed: true,
+					})
+				}
 				continue
 			}
 			c.attempts++
@@ -612,6 +696,22 @@ func (n *Node) Step() {
 // Idle implements machine.IdleStepper: with no outstanding calls the
 // timer has nothing to do.
 func (n *Node) Idle() bool { return len(n.calls) == 0 }
+
+// NextEvent implements machine.EventStepper: between retransmission
+// deadlines Step provably does nothing, so a machine whose only pending
+// work is waiting for replies can big-step the whole wait. nextDeadline
+// may belong to a call that has since completed — an early wake-up and
+// a re-sweep, which the contract permits (under-reporting is a lost
+// skip; over-reporting would be a missed retransmit).
+func (n *Node) NextEvent(now sim.Cycle) sim.Cycle {
+	if len(n.calls) == 0 {
+		return sim.Never
+	}
+	if n.nextDeadline <= now {
+		return now + 1
+	}
+	return n.nextDeadline
+}
 
 // Deliver accepts a frame from the shared medium: it lands in a receive
 // buffer by DMA, then the transport parses it out of machine memory.
@@ -715,7 +815,27 @@ func (n *Node) serverAccept(src int, msg *Message) {
 	}
 	e := &svc{src: src, msg: msg}
 	n.dedup[key] = e
+	if n.cfg.MaxQueue > 0 && len(n.srvQueue) >= n.cfg.MaxQueue {
+		// Admission control: the queue is at its bound. Answer from the
+		// receive path with a rejection reply — cached in the dedup entry
+		// like any served reply, so a retransmitted shed call re-sends
+		// the same rejection instead of sneaking into the queue.
+		n.stats.CallsShed.Inc()
+		n.emit(obs.KindRPCShed, uint64(msg.ID), uint64(src))
+		reject := &Message{Kind: Reply, ID: msg.ID, Proc: ShedProc,
+			Payload: callPayload(msg.ID^0xabcd, 4)}
+		buf, err := reject.Marshal()
+		if err != nil {
+			panic(err)
+		}
+		e.replyFrames = PackFrames(src, n.station, msg.ID, Reply, buf)
+		n.transmitFrames(e.replyFrames)
+		return
+	}
 	n.srvQueue = append(n.srvQueue, e)
+	if len(n.srvQueue) > n.queuePeak {
+		n.queuePeak = len(n.srvQueue)
+	}
 	n.stats.CallsReceived.Inc()
 }
 
@@ -754,19 +874,30 @@ func (n *Node) clientAccept(msg *Message) {
 		return
 	}
 	c.done = true
+	c.shed = msg.Proc == ShedProc
 	c.latency = n.clock.Now() - c.started
 	delete(n.byID, msg.ID)
 	n.emit(obs.KindRPCReply, uint64(c.id), uint64(c.latency))
-	if c.openLoop {
+	if c.shed {
+		n.stats.ShedReplies.Inc()
+	} else if c.openLoop {
 		n.recordCompleted(c)
+	}
+	if c.onDone != nil {
+		c.onDone(CallOutcome{
+			ID: c.id, Latency: c.latency, Bytes: c.bytes, Shed: c.shed,
+		})
 	}
 }
 
-// recordCompleted accounts a finished call.
+// recordCompleted accounts a finished call. Shed and failed calls never
+// reach it: goodput counters and the latency histogram hold only calls
+// the server actually served.
 func (n *Node) recordCompleted(c *call) {
 	n.stats.CallsCompleted.Inc()
 	n.stats.BytesMoved.Add(uint64(c.bytes))
 	n.latSum += uint64(c.latency)
+	n.latHist.Observe(uint64(c.latency))
 }
 
 // StartServer forks the worker pool. Each worker polls the dispatch
@@ -808,7 +939,13 @@ func (n *Node) workerProgram() topaz.Program {
 			return topaz.Compute{Instructions: n.cfg.DispatchInstr}
 		case wCompute:
 			state = wSleep
-			return topaz.Sleep{Cycles: n.serverCycles(len(cur.msg.Payload))}
+			svc := n.serverCycles(len(cur.msg.Payload)) + n.cfg.ProcService[cur.msg.Proc]
+			// The station's busy time: the calibrated sleep plus the
+			// instruction slice that just ran, both under the connection
+			// mutex — the utilization numerator the queuing-model
+			// differential compares against the analytic rho.
+			n.stats.ServiceCycles.Add(svc + n.nominalInstrCycles())
+			return topaz.Sleep{Cycles: svc}
 		case wSleep:
 			state = wReply
 			return topaz.Call{Fn: func() { n.sendReply(cur) }}
@@ -865,7 +1002,7 @@ func (n *Node) callerProgram(dst, payloadBytes int) topaz.Program {
 			return topaz.Sleep{Cycles: n.clientCycles(payloadBytes)}
 		case cSleep:
 			state = cIssue
-			return topaz.Call{Fn: func() { cur = n.issue(dst, payloadBytes, false) }}
+			return topaz.Call{Fn: func() { cur = n.issue(dst, payloadBytes, DefaultProc, false, nil) }}
 		case cIssue:
 			state = cPoll
 			return topaz.Unlock{M: n.cliMu}
@@ -886,9 +1023,12 @@ func (n *Node) callerProgram(dst, payloadBytes int) topaz.Program {
 		case cFinSleep:
 			state = cFinish
 			return topaz.Call{Fn: func() {
-				// Latency spans issue to finish, like transport.Run.
+				// Latency spans issue to finish, like transport.Run. A
+				// shed reply is not goodput; the caller just loops.
 				cur.latency = n.clock.Now() - cur.started
-				n.recordCompleted(cur)
+				if !cur.shed {
+					n.recordCompleted(cur)
+				}
 			}}
 		default:
 			state = cBegin
@@ -921,6 +1061,6 @@ func (n *Node) StartOpenLoop(dst, payloadBytes int, intervalCycles uint64, count
 			return topaz.Exit{}
 		}
 		issued++
-		return topaz.Call{Fn: func() { n.issue(dst, payloadBytes, true) }}
+		return topaz.Call{Fn: func() { n.issue(dst, payloadBytes, DefaultProc, true, nil) }}
 	}), topaz.ThreadSpec{Name: "rpc-openloop"}, nil)
 }

@@ -78,6 +78,16 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ServerServiceCycles is the nominal server-station cost of one call
+// with the given payload: the per-connection serialized stage the
+// runtime's workers charge (before any per-procedure extra from
+// NodeConfig.ProcService). The traffic engine's queuing model uses it as
+// the service time of each server node.
+func (c Config) ServerServiceCycles(payloadBytes int) uint64 {
+	c = c.withDefaults()
+	return c.ServerFixedCycles + c.ServerPerByteCentiCycles*uint64(payloadBytes)/100
+}
+
 // station is a FIFO server: one request at a time, queued in arrival
 // order.
 type station struct {
@@ -118,6 +128,9 @@ type Result struct {
 	BytesMoved    uint64
 	Mbps          float64 // payload megabits per second sustained
 	MeanLatencyUS float64 // mean per-call latency in microseconds
+	P50US         float64 // median per-call latency (log-bucket upper bound)
+	P95US         float64
+	P99US         float64
 	WireUtil      float64
 	ServerUtil    float64
 	ClientUtil    float64
@@ -144,6 +157,7 @@ func Run(cfg Config, threads int, seconds float64) Result {
 	deadline := sim.Cycle(seconds * 1e9 / sim.CycleNS)
 	res := Result{Threads: threads, SimSeconds: seconds}
 	var latencySum uint64
+	var latencies stats.LogHist
 	var nextID uint32
 
 	payload := make([]byte, cfg.PayloadBytes)
@@ -185,6 +199,7 @@ func Run(cfg Config, threads int, seconds float64) Result {
 							res.Calls++
 							res.BytesMoved += uint64(cfg.PayloadBytes)
 							latencySum += uint64(q.Now() - started)
+							latencies.Observe(uint64(q.Now() - started))
 							issue()
 						})
 					})
@@ -199,10 +214,18 @@ func Run(cfg Config, threads int, seconds float64) Result {
 	q.RunUntil(deadline)
 
 	elapsed := clock.Now()
-	res.Mbps = float64(res.BytesMoved*8) / (float64(elapsed.NS()) * 1e-9) / 1e6
+	// A zero-length or call-free run must report zeros, not NaN: with
+	// elapsed == 0 the Mbps division is 0/0, and every percentile of an
+	// empty histogram is defined as 0.
+	if elapsed > 0 {
+		res.Mbps = float64(res.BytesMoved*8) / (float64(elapsed.NS()) * 1e-9) / 1e6
+	}
 	if res.Calls > 0 {
 		res.MeanLatencyUS = float64(latencySum) / float64(res.Calls) * 0.1
 	}
+	res.P50US = CyclesToUS(latencies.Percentile(0.50))
+	res.P95US = CyclesToUS(latencies.Percentile(0.95))
+	res.P99US = CyclesToUS(latencies.Percentile(0.99))
 	res.WireUtil = wire.utilization(elapsed)
 	res.ServerUtil = server.utilization(elapsed)
 	res.ClientUtil = client.utilization(elapsed)

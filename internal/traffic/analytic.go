@@ -1,0 +1,86 @@
+package traffic
+
+import (
+	"math"
+
+	"firefly/internal/rpc"
+	"firefly/internal/sim"
+)
+
+// Prediction is the §5.2-style queuing view of a traffic spec on a
+// fleet: each server member is one M/G/1 station (the runtime's
+// per-connection mutex serializes its workers, so a node really is a
+// single server with a FIFO queue), fed a balanced share of a Poisson
+// call stream whose service time is drawn from the class mix.
+type Prediction struct {
+	// CallsPerSecond is the total offered call rate implied by the
+	// session arrival rate and the mix's calls-per-session.
+	CallsPerSecond float64
+	// MeanCallsPerSession is the mix-weighted session length.
+	MeanCallsPerSession float64
+	// ServiceMeanCycles and ServiceM2Cycles are E[S] and E[S²] of one
+	// call's server-station service time, in cycles.
+	ServiceMeanCycles float64
+	ServiceM2Cycles   float64
+	// Rho is each server's utilization at the offered rate (λ·E[S] with
+	// the call stream split evenly across the backends).
+	Rho float64
+	// WaitCycles is the Pollaczek–Khinchine mean queueing delay
+	// λ·E[S²] / (2·(1−ρ)) per call; +Inf at or past the knee.
+	WaitCycles float64
+	// KneeSessionsPerSecond is the session arrival rate at which ρ
+	// reaches 1 — the capacity knee past which an open-loop fleet
+	// without admission control collapses.
+	KneeSessionsPerSecond float64
+}
+
+// Predict evaluates the spec against the analytic model for a fleet
+// with the given number of server members and transport cost
+// calibration. The model prices exactly what the runtime charges its
+// worker per call — the payload-derived station cost plus the class's
+// ProcService extra — and deliberately ignores wire time and client
+// overhead, which add latency but not server load.
+func (s Spec) Predict(costs rpc.Config, backends int) Prediction {
+	profiles := Profiles()
+	var p Prediction
+	totalW := 0
+	for _, w := range s.Mix {
+		totalW += w
+	}
+	if totalW == 0 || backends < 1 || !(s.Rate > 0) {
+		return p
+	}
+	// Per-call class probabilities: a class's share of calls is its
+	// session weight times its calls per session.
+	var callW float64
+	for c, w := range s.Mix {
+		if w == 0 {
+			continue
+		}
+		prof := profiles[c]
+		p.MeanCallsPerSession += float64(w) / float64(totalW) * float64(prof.CallsPerSession)
+		callW += float64(w) * float64(prof.CallsPerSession)
+	}
+	for c, w := range s.Mix {
+		if w == 0 {
+			continue
+		}
+		prof := profiles[c]
+		svc := float64(costs.ServerServiceCycles(prof.PayloadBytes) + prof.ExtraServiceCycles)
+		pc := float64(w) * float64(prof.CallsPerSession) / callW
+		p.ServiceMeanCycles += pc * svc
+		p.ServiceM2Cycles += pc * svc * svc
+	}
+	p.CallsPerSecond = s.Rate * p.MeanCallsPerSession
+	cyclesPerSec := 1e9 / sim.CycleNS
+	lambda := p.CallsPerSecond / float64(backends) / cyclesPerSec // calls per cycle per node
+	p.Rho = lambda * p.ServiceMeanCycles
+	if p.Rho < 1 {
+		p.WaitCycles = lambda * p.ServiceM2Cycles / (2 * (1 - p.Rho))
+	} else {
+		p.WaitCycles = math.Inf(1)
+	}
+	p.KneeSessionsPerSecond = float64(backends) * cyclesPerSec /
+		p.ServiceMeanCycles / p.MeanCallsPerSession
+	return p
+}

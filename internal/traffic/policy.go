@@ -1,0 +1,94 @@
+package traffic
+
+// Fleet is the routing view the load-balancing policies see: the backend
+// machine indexes, their segments, and the balancer's live in-flight
+// counts. All of it is engine state mutated only on the load-balancer
+// machine's cycle loop, so policy decisions are deterministic at any
+// cluster worker count.
+type Fleet struct {
+	// Backends are the server machine indexes, ascending.
+	Backends []int
+	// SegOf maps a machine index to its Ethernet segment.
+	SegOf []int
+	// Outstanding counts the balancer's in-flight calls per machine
+	// index (only backend entries are ever non-zero).
+	Outstanding []int
+}
+
+// Policy picks a backend machine for the next call. home is the
+// session's home segment (drawn at session creation); non-affine
+// policies ignore it. Pick must be a pure function of the Fleet view,
+// its own private state, and home.
+type Policy interface {
+	Name() string
+	Pick(f *Fleet, home int) int
+}
+
+// rrPolicy cycles through the backends in index order.
+type rrPolicy struct{ next int }
+
+func (p *rrPolicy) Name() string { return "rr" }
+
+func (p *rrPolicy) Pick(f *Fleet, home int) int {
+	b := f.Backends[p.next%len(f.Backends)]
+	p.next++
+	return b
+}
+
+// leastPolicy picks the backend with the fewest in-flight calls, lowest
+// index on ties — the balancer's view of queue depth, not the server's.
+type leastPolicy struct{}
+
+func (leastPolicy) Name() string { return "least" }
+
+func (leastPolicy) Pick(f *Fleet, home int) int {
+	best := f.Backends[0]
+	for _, b := range f.Backends[1:] {
+		if f.Outstanding[b] < f.Outstanding[best] {
+			best = b
+		}
+	}
+	return best
+}
+
+// affinePolicy keeps a session's calls on its home segment — least
+// outstanding among the backends that share the session's wire, so
+// steady traffic never crosses the bridge — falling back to the global
+// least-outstanding backend when the home segment hosts no servers
+// (e.g. the balancer-only segment of a small fleet).
+type affinePolicy struct{}
+
+func (affinePolicy) Name() string { return "affine" }
+
+func (affinePolicy) Pick(f *Fleet, home int) int {
+	best := -1
+	for _, b := range f.Backends {
+		if f.SegOf[b] != home {
+			continue
+		}
+		if best < 0 || f.Outstanding[b] < f.Outstanding[best] {
+			best = b
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return leastPolicy{}.Pick(f, home)
+}
+
+// PolicyByName returns a fresh policy instance (rr carries a cursor, so
+// instances are not shareable across engines).
+func PolicyByName(name string) (Policy, bool) {
+	switch name {
+	case "rr":
+		return &rrPolicy{}, true
+	case "least":
+		return leastPolicy{}, true
+	case "affine":
+		return affinePolicy{}, true
+	}
+	return nil, false
+}
+
+// PolicyNames lists the known policies in spec order.
+func PolicyNames() []string { return []string{"rr", "least", "affine"} }

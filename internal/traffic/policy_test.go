@@ -1,0 +1,123 @@
+package traffic
+
+import (
+	"testing"
+)
+
+// testFleet is a 7-machine view: balancer 0, three backends on segment
+// 0, three on segment 1.
+func testFleet() *Fleet {
+	return &Fleet{
+		Backends:    []int{1, 2, 3, 4, 5, 6},
+		SegOf:       []int{0, 0, 0, 0, 1, 1, 1},
+		Outstanding: make([]int, 7),
+	}
+}
+
+func TestPolicyNamesResolve(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, ok := PolicyByName(name)
+		if !ok || p.Name() != name {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := PolicyByName("random"); ok {
+		t.Fatal("unknown policy resolved")
+	}
+}
+
+// TestPolicyDeterminism: two fresh instances of the same policy fed the
+// same pick/complete sequence must route identically — the property the
+// engine's cross-worker determinism rests on.
+func TestPolicyDeterminism(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p1, _ := PolicyByName(name)
+		p2, _ := PolicyByName(name)
+		f1, f2 := testFleet(), testFleet()
+		for i := 0; i < 200; i++ {
+			home := i % 2
+			a := p1.Pick(f1, home)
+			b := p2.Pick(f2, home)
+			if a != b {
+				t.Fatalf("%s: pick %d diverged: %d vs %d", name, i, a, b)
+			}
+			f1.Outstanding[a]++
+			f2.Outstanding[b]++
+			if i%3 == 0 { // retire an old call now and then
+				f1.Outstanding[a]--
+				f2.Outstanding[b]--
+			}
+		}
+	}
+}
+
+// TestPolicySingleBackendEquivalence: with one backend every policy
+// must route every call there — policies differ only in choice, never
+// in reachability.
+func TestPolicySingleBackendEquivalence(t *testing.T) {
+	f := &Fleet{Backends: []int{1}, SegOf: []int{0, 0}, Outstanding: make([]int, 2)}
+	for _, name := range PolicyNames() {
+		p, _ := PolicyByName(name)
+		for i := 0; i < 50; i++ {
+			if got := p.Pick(f, 0); got != 1 {
+				t.Fatalf("%s routed to %d with a single backend", name, got)
+			}
+			f.Outstanding[1]++
+		}
+		f.Outstanding[1] = 0
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p, _ := PolicyByName("rr")
+	f := testFleet()
+	want := []int{1, 2, 3, 4, 5, 6, 1, 2}
+	for i, w := range want {
+		if got := p.Pick(f, 0); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestLeastPicksMinOutstanding(t *testing.T) {
+	p, _ := PolicyByName("least")
+	f := testFleet()
+	f.Outstanding[1], f.Outstanding[2], f.Outstanding[3] = 5, 2, 2
+	f.Outstanding[4], f.Outstanding[5], f.Outstanding[6] = 9, 1, 3
+	if got := p.Pick(f, 0); got != 5 {
+		t.Fatalf("least picked %d, want 5", got)
+	}
+	f.Outstanding[5] = 2
+	// Tie at 2 between 2, 3, 5: lowest index wins, deterministically.
+	if got := p.Pick(f, 0); got != 2 {
+		t.Fatalf("least tie-break picked %d, want 2", got)
+	}
+}
+
+func TestAffineStaysOnHomeSegment(t *testing.T) {
+	p, _ := PolicyByName("affine")
+	f := testFleet()
+	// Load the home-segment backends heavily: affine must still prefer
+	// them over idle remote ones.
+	f.Outstanding[1], f.Outstanding[2], f.Outstanding[3] = 7, 9, 8
+	if got := p.Pick(f, 0); got != 1 {
+		t.Fatalf("affine left its home segment: picked %d, want 1", got)
+	}
+	if got := p.Pick(f, 1); got != 4 {
+		t.Fatalf("affine picked %d for segment 1, want 4", got)
+	}
+}
+
+func TestAffineFallsBackWhenHomeHasNoServers(t *testing.T) {
+	p, _ := PolicyByName("affine")
+	// Backends only on segment 1; a session homed on segment 0 must fall
+	// back to the global least-outstanding backend.
+	f := &Fleet{
+		Backends:    []int{1, 2},
+		SegOf:       []int{0, 1, 1},
+		Outstanding: []int{0, 4, 1},
+	}
+	if got := p.Pick(f, 0); got != 2 {
+		t.Fatalf("fallback picked %d, want 2 (global least)", got)
+	}
+}

@@ -1,0 +1,145 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"firefly/internal/cluster"
+	"firefly/internal/rpc"
+	"firefly/internal/sim"
+)
+
+// makeOnlySpec is the queuing differential's workload: compile jobs
+// only, so every call has the same deterministic 44k-cycle service time
+// (M/D/1 — E[S^2] = E[S]^2) and the servers, not the wire, are the
+// bottleneck (a make call moves 128 bytes but holds the server for a
+// 40k-cycle build leaf).
+func makeOnlySpec(rate float64, queue int, seed uint64) Spec {
+	return Spec{Rate: rate, Mix: [NumClasses]int{0, 1, 0}, LB: "least", Queue: queue, Seed: seed}
+}
+
+// queuingNode uses the repo's default transport calibration (the
+// MicroVAX-era §5.2 costs) with a retransmit timer far past any queueing
+// delay the admission bound allows, so the latency tail measures the
+// queue and not duplicate suppression.
+func queuingNode() rpc.NodeConfig {
+	return rpc.NodeConfig{RetransmitCycles: 4_000_000}
+}
+
+// runQueuing drives a make-only fleet for the given simulated seconds
+// and returns the engine.
+func runQueuing(t *testing.T, machines int, spec Spec, secs float64) (*cluster.Cluster, *Engine) {
+	t.Helper()
+	cl := cluster.New(cluster.Config{
+		Machines:  machines,
+		Node:      queuingNode(),
+		Net:       fastNet(spec.Seed),
+		Seed:      spec.Seed,
+		NodePatch: spec.NodePatch(),
+	})
+	eng := Attach(cl, spec)
+	cl.RunSeconds(secs)
+	return cl, eng
+}
+
+// TestQueuingUtilizationMatchesModel: below the knee, each server's
+// measured utilization (service cycles charged by its worker / elapsed)
+// must sit within 20% of the analytic lambda*E[S] computed from the
+// calls it actually served — the §5.2-style saturation model holding on
+// the cycle-accurate fleet.
+func TestQueuingUtilizationMatchesModel(t *testing.T) {
+	pred := makeOnlySpec(1, 0, 17).Predict(trafficCosts(), 4)
+	// Aim each of the 4 backends at rho ~= 0.5.
+	rate := pred.KneeSessionsPerSecond * 0.5
+	cl, eng := runQueuing(t, 5, makeOnlySpec(rate, 0, 17), 2.0)
+
+	if eng.CallsFailed() != 0 || eng.CallsShed() != 0 {
+		t.Fatalf("below-knee run lost calls: %d failed, %d shed", eng.CallsFailed(), eng.CallsShed())
+	}
+	if eng.CallsCompleted() < 300 {
+		t.Fatalf("only %d calls completed; too few for the differential", eng.CallsCompleted())
+	}
+	elapsed := float64(eng.Elapsed())
+	for i := 1; i < cl.Size(); i++ {
+		st := cl.Node(i).Stats()
+		served := float64(st.Served.Value())
+		if served == 0 {
+			t.Errorf("backend %d served nothing", i)
+			continue
+		}
+		measured := float64(st.ServiceCycles.Value()) / elapsed
+		analytic := served / elapsed * pred.ServiceMeanCycles
+		if ratio := measured / analytic; math.Abs(ratio-1) > 0.20 {
+			t.Errorf("backend %d: measured util %.4f vs analytic %.4f (ratio %.3f, want within 20%%)",
+				i, measured, analytic, ratio)
+		}
+	}
+}
+
+// TestQueuingLatencyInflationMatchesPK: a single-backend fleet is an
+// M/D/1 queue, so raising the offered load from rho~0.2 to rho~0.6 must
+// inflate mean latency by the Pollaczek–Khinchine waiting-time
+// difference — within 20%, measured against the arrival rates the runs
+// actually sustained. Differencing two operating points cancels the
+// constant client, wire, and service components, leaving pure queueing.
+func TestQueuingLatencyInflationMatchesPK(t *testing.T) {
+	pred := makeOnlySpec(1, 0, 23).Predict(trafficCosts(), 1)
+	const secs = 6.0
+	run := func(frac float64, seed uint64) (meanLat, waitPred float64) {
+		_, eng := runQueuing(t, 2, makeOnlySpec(pred.KneeSessionsPerSecond*frac, 0, seed), secs)
+		if eng.CallsFailed() != 0 {
+			t.Fatalf("run at %.1fx knee failed %d calls", frac, eng.CallsFailed())
+		}
+		n := eng.FleetHist().Count()
+		if n < 200 {
+			t.Fatalf("run at %.1fx knee completed only %d calls", frac, n)
+		}
+		lambda := float64(n) / float64(eng.Elapsed()) // calls per cycle, as sustained
+		rho := lambda * pred.ServiceMeanCycles
+		if rho >= 1 {
+			t.Fatalf("run at %.1fx knee measured rho %.2f >= 1", frac, rho)
+		}
+		return eng.FleetHist().Mean(), lambda * pred.ServiceM2Cycles / (2 * (1 - rho))
+	}
+	lowLat, lowWait := run(0.2, 23)
+	highLat, highWait := run(0.6, 23)
+	gotInflation := highLat - lowLat
+	wantInflation := highWait - lowWait
+	if wantInflation <= 0 {
+		t.Fatalf("degenerate prediction: wait %.0f -> %.0f cycles", lowWait, highWait)
+	}
+	if ratio := gotInflation / wantInflation; math.Abs(ratio-1) > 0.20 {
+		t.Errorf("latency inflation %.0f cycles vs PK prediction %.0f (ratio %.3f, want within 20%%)",
+			gotInflation, wantInflation, ratio)
+	}
+}
+
+// TestQueuingAdmissionPreventsCollapse: 1.3x past the knee an open-loop
+// arrival process overcommits the fleet for good — but with a bounded
+// server queue the excess is shed as explicit rejections, goodput holds
+// near capacity, no call dies on the retransmit budget, and the tail
+// stays bounded by the queue rather than growing with the backlog.
+func TestQueuingAdmissionPreventsCollapse(t *testing.T) {
+	pred := makeOnlySpec(1, 16, 31).Predict(trafficCosts(), 1)
+	cl, eng := runQueuing(t, 2, makeOnlySpec(pred.KneeSessionsPerSecond*1.3, 16, 31), 4.0)
+
+	capacity := 1e9 / sim.CycleNS / pred.ServiceMeanCycles // calls/s one server can retire
+	if g := eng.Goodput(); g < 0.7*capacity {
+		t.Errorf("goodput %.1f calls/s collapsed below 70%% of capacity %.1f", g, capacity)
+	}
+	if eng.CallsShed() == 0 {
+		t.Error("no calls shed 30% past the knee; admission control inactive")
+	}
+	if f := eng.CallsFailed(); f != 0 {
+		t.Errorf("%d calls exhausted the retransmit budget; rejections should answer first", f)
+	}
+	// The p99 latency must be bounded by the queue the server admits
+	// (16 calls deep plus slack), not by the unbounded open-loop backlog.
+	bound := uint64(float64(16+6) * pred.ServiceMeanCycles)
+	if p99 := eng.FleetHist().Percentile(0.99); p99 > bound {
+		t.Errorf("p99 %d cycles exceeds queue-implied bound %d", p99, bound)
+	}
+	if qp := cl.Node(1).QueuePeak(); qp > 16 {
+		t.Errorf("server queue peaked at %d, bound 16", qp)
+	}
+}

@@ -1,0 +1,285 @@
+// Package traffic is the fleet-level workload engine: an open-loop
+// population of simulated users driving mixed request classes against a
+// multi-node Firefly cluster through a load-balancing front end.
+//
+// The paper's argument is that a Firefly earns its keep under real
+// multi-user load — RPC file service, compile farms, remote display
+// sessions sharing one coherent machine (§5–§6). This package asks the
+// production version of that question on the cluster substrate: sessions
+// arrive in an open-loop Poisson process (arrivals never wait for
+// completions, so offered load is a free variable), each session issues
+// a class-dependent burst of RPC calls, and a load-balancer node routes
+// every call to a server machine over the simulated bridged Ethernet —
+// wire topology is part of the experiment. The report carries what
+// production cares about: goodput vs offered load, fleet-wide p50/p95/
+// p99 latency from merged log-bucketed histograms, shed vs admitted
+// under admission control, and per-node saturation held against the
+// §5.2-style queuing model (see Predict).
+//
+// Determinism contract: the engine is a device on the load-balancer
+// machine, all of its state is stepped inside that machine's own cycle
+// loop, and every random draw (inter-arrival gaps, class selection,
+// session homes) comes from split streams of the spec seed — so a fixed
+// spec and cluster seed reproduce byte-identical reports, trace streams,
+// and segment JSONL at any cluster worker count, exactly like the
+// cluster engine itself.
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Class is a request class: which kind of work a session asks of the
+// fleet. The three classes are the paper's three workloads, priced with
+// the repo's own calibrations.
+type Class uint8
+
+const (
+	// ClassFile is RPC file service: one internal/fs block (128
+	// longwords = 512 bytes) per call, served at the transport's
+	// per-byte cost — the paper's remote file access workload.
+	ClassFile Class = iota
+	// ClassCompile is a ParallelMake compile job: a small request that
+	// holds the server for one internal/workload standard build leaf
+	// (40k cycles — the cost fireflysim's make workload uses).
+	ClassCompile
+	// ClassDisplay is a remote display burst on the MDC path: a rapid
+	// run of tile paints, each priced at a 64x64 tile at the display
+	// controller's 5/8 cycle-per-pixel rate.
+	ClassDisplay
+
+	// NumClasses is the class count.
+	NumClasses = 3
+)
+
+// classNames are the spec-string names, in Class order.
+var classNames = [NumClasses]string{"file", "make", "mdc"}
+
+// String returns the class's spec-string name.
+func (c Class) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Profile describes one request class: its wire footprint, its extra
+// service demand beyond the transport's payload-derived cost, and its
+// session shape.
+type Profile struct {
+	// Proc is the RPC procedure number requests of this class carry;
+	// the server's NodeConfig.ProcService prices it.
+	Proc uint16
+	// PayloadBytes is the request payload.
+	PayloadBytes int
+	// ExtraServiceCycles is added to the server's payload-derived
+	// service cost for this class.
+	ExtraServiceCycles uint64
+	// CallsPerSession is how many calls one session of this class
+	// issues, sequentially.
+	CallsPerSession int
+	// ThinkCycles separates a session's calls (completion to next
+	// issue).
+	ThinkCycles uint64
+}
+
+// Profiles returns the built-in class profiles, indexed by Class.
+func Profiles() [NumClasses]Profile {
+	return [NumClasses]Profile{
+		// 512 B = one fs.BlockWords sector; the transport's per-byte
+		// server cost stands in for cache lookup + marshal.
+		ClassFile: {Proc: 10, PayloadBytes: 512, ExtraServiceCycles: 0,
+			CallsPerSession: 4, ThinkCycles: 20_000},
+		// One StandardBuild leaf: 40_000 cycles of compilation per job.
+		ClassCompile: {Proc: 11, PayloadBytes: 128, ExtraServiceCycles: 40_000,
+			CallsPerSession: 2, ThinkCycles: 50_000},
+		// A 64x64 tile at the MDC's 5/8 cycle/pixel: 2_560 cycles,
+		// bursty (short thinks, many calls).
+		ClassDisplay: {Proc: 12, PayloadBytes: 512, ExtraServiceCycles: 2_560,
+			CallsPerSession: 6, ThinkCycles: 4_000},
+	}
+}
+
+// Spec is a parsed traffic specification: the open-loop arrival process,
+// the class mix, the load-balancing policy, and the admission-control
+// bound. The zero value is not valid; use ParseSpec or DefaultSpec.
+type Spec struct {
+	// Rate is session arrivals per simulated second. The process is
+	// open-loop: arrivals never wait for completions.
+	Rate float64
+	// Mix weights the classes (file, make, mdc); a zero weight disables
+	// the class. Weights are relative, not normalized.
+	Mix [NumClasses]int
+	// LB names the load-balancing policy: rr, least, or affine.
+	LB string
+	// Queue bounds each server's dispatch queue (admission control);
+	// 0 disables shedding.
+	Queue int
+	// Seed drives the engine's split random streams (default 1).
+	Seed uint64
+}
+
+// DefaultSpec is a moderate mixed load: mostly file service, some
+// compile jobs, some display bursts, least-outstanding balancing, and a
+// 32-call admission bound.
+func DefaultSpec() Spec {
+	return Spec{
+		Rate:  400,
+		Mix:   [NumClasses]int{6, 3, 1},
+		LB:    "least",
+		Queue: 32,
+		Seed:  1,
+	}
+}
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if !(s.Rate > 0) || s.Rate > 1e9 {
+		return fmt.Errorf("traffic: rate %v out of range (need 0 < rate <= 1e9)", s.Rate)
+	}
+	total := 0
+	for c, w := range s.Mix {
+		if w < 0 || w > 1_000_000 {
+			return fmt.Errorf("traffic: mix weight %s:%d out of range", Class(c), w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return fmt.Errorf("traffic: empty class mix")
+	}
+	if _, ok := PolicyByName(s.LB); !ok {
+		return fmt.Errorf("traffic: unknown lb policy %q (known: %s)",
+			s.LB, strings.Join(PolicyNames(), ", "))
+	}
+	if s.Queue < 0 || s.Queue > 1_000_000 {
+		return fmt.Errorf("traffic: queue bound %d out of range", s.Queue)
+	}
+	return nil
+}
+
+// String renders the spec in the canonical ParseSpec syntax;
+// ParseSpec(s.String()) reproduces s exactly (the fuzzer's round-trip
+// property).
+func (s Spec) String() string {
+	var mix []string
+	for c, w := range s.Mix {
+		if w > 0 {
+			mix = append(mix, fmt.Sprintf("%s:%d", Class(c), w))
+		}
+	}
+	return fmt.Sprintf("rate=%g,mix=%s,lb=%s,queue=%d,seed=%d",
+		s.Rate, strings.Join(mix, "/"), s.LB, s.Queue, s.Seed)
+}
+
+// ParseSpec parses a traffic spec string — the fireflysim -traffic
+// flag. Comma-separated key=value pairs:
+//
+//	rate=N        session arrivals per simulated second (required > 0)
+//	mix=SPEC      class weights, e.g. file:6/make:3/mdc:1 (default the
+//	              DefaultSpec mix); omitted classes get weight 0
+//	lb=NAME       load-balancing policy: rr, least, affine (default least)
+//	queue=N       per-server admission bound, 0 = unbounded (default 32)
+//	seed=N        engine random seed (default 1)
+//
+// Unknown keys, malformed numbers, and empty mixes are errors, never
+// panics: the string is user input.
+func ParseSpec(in string) (Spec, error) {
+	s := DefaultSpec()
+	if strings.TrimSpace(in) == "" {
+		return Spec{}, fmt.Errorf("traffic: empty spec")
+	}
+	seenMix := false
+	for _, part := range strings.Split(in, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("traffic: %q is not key=value", part)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		switch key {
+		case "rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("traffic: rate %q: %v", val, err)
+			}
+			s.Rate = f
+		case "mix":
+			if seenMix {
+				return Spec{}, fmt.Errorf("traffic: duplicate mix")
+			}
+			seenMix = true
+			s.Mix = [NumClasses]int{}
+			for _, m := range strings.Split(val, "/") {
+				name, w, ok := strings.Cut(m, ":")
+				if !ok {
+					return Spec{}, fmt.Errorf("traffic: mix entry %q is not class:weight", m)
+				}
+				c, ok := classByName(strings.TrimSpace(name))
+				if !ok {
+					return Spec{}, fmt.Errorf("traffic: unknown class %q (known: %s)",
+						name, strings.Join(classNames[:], ", "))
+				}
+				n, err := strconv.Atoi(strings.TrimSpace(w))
+				if err != nil {
+					return Spec{}, fmt.Errorf("traffic: mix weight %q: %v", w, err)
+				}
+				if s.Mix[c] != 0 {
+					return Spec{}, fmt.Errorf("traffic: class %s repeated in mix", c)
+				}
+				s.Mix[c] = n
+			}
+		case "lb":
+			s.LB = val
+		case "queue":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Spec{}, fmt.Errorf("traffic: queue %q: %v", val, err)
+			}
+			s.Queue = n
+		case "seed":
+			n, err := strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				return Spec{}, fmt.Errorf("traffic: seed %q: %v", val, err)
+			}
+			if n == 0 {
+				n = 1
+			}
+			s.Seed = n
+		default:
+			return Spec{}, fmt.Errorf("traffic: unknown key %q", key)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// classByName resolves a spec-string class name.
+func classByName(name string) (Class, bool) {
+	for c, n := range classNames {
+		if n == name {
+			return Class(c), true
+		}
+	}
+	return 0, false
+}
+
+// MixClasses returns the classes with non-zero weight, in Class order
+// (the deterministic iteration the engine and reports use).
+func (s Spec) MixClasses() []Class {
+	var cs []Class
+	for c, w := range s.Mix {
+		if w > 0 {
+			cs = append(cs, Class(c))
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}

@@ -1,0 +1,134 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	cases := []string{
+		"rate=2000,mix=file:6/make:3/mdc:1,lb=least,queue=32,seed=5",
+		"rate=0.5,mix=make:1,lb=rr,queue=0,seed=1",
+		"rate=1e6,mix=file:1/mdc:9,lb=affine,queue=100,seed=18446744073709551615",
+	}
+	for _, in := range cases {
+		s, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		out := s.String()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", out, err)
+		}
+		if s != s2 {
+			t.Fatalf("round trip changed spec: %+v vs %+v", s, s2)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec("rate=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := DefaultSpec()
+	d.Rate = 100
+	if s != d {
+		t.Fatalf("partial spec did not inherit defaults: %+v vs %+v", s, d)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"rate=0",
+		"rate=-3",
+		"rate=abc",
+		"rate=100,mix=",
+		"rate=100,mix=file",
+		"rate=100,mix=bogus:1",
+		"rate=100,mix=file:x",
+		"rate=100,mix=file:1/file:2",
+		"rate=100,mix=file:0/make:0",
+		"rate=100,mix=file:-1",
+		"rate=100,lb=random",
+		"rate=100,queue=-1",
+		"rate=100,queue=x",
+		"rate=100,seed=x",
+		"rate=100,bogus=1",
+		"noequals",
+		"rate=100,mix=file:1,mix=make:1",
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", in)
+		}
+	}
+}
+
+func TestSpecMixClassesOrdered(t *testing.T) {
+	s, err := ParseSpec("rate=1,mix=mdc:2/file:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := s.MixClasses()
+	if len(cs) != 2 || cs[0] != ClassFile || cs[1] != ClassDisplay {
+		t.Fatalf("MixClasses = %v, want [file mdc]", cs)
+	}
+}
+
+func TestPredictKneeAndRho(t *testing.T) {
+	s, err := ParseSpec("rate=100,mix=make:1,queue=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := s.Predict(trafficCosts(), 4)
+	if p.MeanCallsPerSession != 2 {
+		t.Fatalf("mean calls/session %v, want 2 (make profile)", p.MeanCallsPerSession)
+	}
+	prof := Profiles()[ClassCompile]
+	wantS := float64(trafficCosts().ServerServiceCycles(prof.PayloadBytes) + prof.ExtraServiceCycles)
+	if p.ServiceMeanCycles != wantS {
+		t.Fatalf("E[S] = %v, want %v", p.ServiceMeanCycles, wantS)
+	}
+	// Deterministic service: E[S^2] must equal E[S]^2 exactly.
+	if p.ServiceM2Cycles != wantS*wantS {
+		t.Fatalf("E[S^2] = %v, want %v", p.ServiceM2Cycles, wantS*wantS)
+	}
+	// At the knee the predicted rho is exactly 1 by construction.
+	s.Rate = p.KneeSessionsPerSecond
+	if k := s.Predict(trafficCosts(), 4); k.Rho < 0.999 || k.Rho > 1.001 {
+		t.Fatalf("rho at knee = %v, want 1", k.Rho)
+	}
+}
+
+// FuzzTrafficSpec feeds the -traffic flag parser arbitrary strings: it
+// must never panic, and anything it accepts must render and re-parse to
+// the identical spec (the CLI's round-trip contract).
+func FuzzTrafficSpec(f *testing.F) {
+	f.Add("rate=2000,mix=file:6/make:3/mdc:1,lb=least,queue=32,seed=5")
+	f.Add("rate=1")
+	f.Add("rate=1e300")
+	f.Add("rate=100,mix=file:1000000")
+	f.Add("mix=,lb=,queue=,seed=")
+	f.Add("rate=100,,,")
+	f.Add(strings.Repeat("rate=1,", 100))
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ParseSpec(in)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseSpec(%q) returned invalid spec %+v: %v", in, s, err)
+		}
+		out := s.String()
+		s2, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", out, in, err)
+		}
+		if s != s2 {
+			t.Fatalf("round trip %q -> %+v -> %q -> %+v not identical", in, s, out, s2)
+		}
+	})
+}
